@@ -1,0 +1,52 @@
+// Command copybench runs the copy microbenchmark a(:) = b(:) — either
+// contiguous (Fig. 6: per-iteration read/write/SpecI2M volumes vs thread
+// count) or strip-mined with a halo gap (Figs. 8/11: read/write ratio vs
+// halo size for inner dimensions 216/530/1920).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloversim/internal/bench"
+	"cloversim/internal/machine"
+)
+
+func main() {
+	var (
+		mach  = flag.String("machine", "icx", fmt.Sprintf("machine preset %v", machine.Names()))
+		inner = flag.Int("inner", 0, "batch length in elements (0 = contiguous)")
+		halo  = flag.Int("halo", 0, "elements skipped between batches")
+		cores = flag.Int("cores", 0, "core count (0 = sweep all)")
+		pfoff = flag.Bool("pfoff", false, "disable hardware prefetchers")
+		nt    = flag.Bool("nt", false, "non-temporal destination stores")
+		elems = flag.Int64("elems", 1<<19, "elements copied per core")
+	)
+	flag.Parse()
+
+	spec, ok := machine.ByName(*mach)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "copybench: unknown machine %q\n", *mach)
+		os.Exit(1)
+	}
+	run := func(n int) {
+		r, err := bench.RunCopy(bench.CopyOptions{
+			Machine: spec, Cores: n, Inner: *inner, Halo: *halo,
+			Elems: *elems, NT: *nt, PFOff: *pfoff,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "copybench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%3d cores: read/it %.3f B  write/it %.3f B  ItoM/it %.3f B  R/W ratio %.3f\n",
+			n, r.ReadPerIt(), r.WritePerIt(), r.ItoMPerIt(), r.RWRatio())
+	}
+	if *cores > 0 {
+		run(*cores)
+		return
+	}
+	for n := 1; n <= spec.Cores(); n++ {
+		run(n)
+	}
+}

@@ -1,0 +1,158 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and writes CSV files plus terminal tables.
+//
+// Usage:
+//
+//	experiments -exp all -out results/
+//	experiments -exp table1
+//	experiments -exp stores -machine spr8480
+//	experiments -exp scaling -full       # paper-faithful y extents (slow)
+//
+// Experiments: profile (Listing 2), table1 (Table I), scaling (Fig 2),
+// balance (Fig 3), mpi (Fig 4), stores (Figs 5/9/10 depending on
+// -machine), copyvol (Fig 6), model (Fig 7), halo (Figs 8/11).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"cloversim"
+	"cloversim/internal/asciiplot"
+	"cloversim/internal/csvout"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all|profile|table1|scaling|balance|mpi|stores|copyvol|model|halo")
+		machine = flag.String("machine", "icx", fmt.Sprintf("machine preset %v", cloversim.Machines()))
+		out     = flag.String("out", "results", "output directory for CSV files")
+		full    = flag.Bool("full", false, "paper-faithful y extents (much slower)")
+		ranks   = flag.String("ranks", "", "comma-separated rank counts (default: all)")
+		pfoff   = flag.Bool("pfoff", true, "include PF-off series in the halo experiment")
+		plot    = flag.Bool("plot", false, "render ASCII charts for figure experiments")
+		quiet   = flag.Bool("q", false, "suppress terminal tables")
+	)
+	flag.Parse()
+
+	opts := cloversim.Options{MachineName: *machine}
+	if *full {
+		opts.MaxRows = -1 // negative disables truncation downstream
+	}
+	if *ranks != "" {
+		for _, s := range strings.Split(*ranks, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("bad -ranks entry %q: %w", s, err))
+			}
+			opts.Ranks = append(opts.Ranks, n)
+		}
+	}
+
+	show := func(name string, t *csvout.Table, err error) {
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		path := filepath.Join(*out, name+".csv")
+		if err := t.SaveCSV(path); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Printf("== %s -> %s\n%s\n", name, path, t.Format())
+		} else {
+			fmt.Printf("== %s -> %s\n", name, path)
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "profile":
+			p, t, err := cloversim.Listing2Profile(opts)
+			show("listing2_profile", t, err)
+			if err == nil && !*quiet {
+				fmt.Println(p.Format(10))
+			}
+		case "table1":
+			_, t, err := cloversim.TableI(opts)
+			show("table1", t, err)
+		case "scaling":
+			pts, t, err := cloversim.Figure2Scaling(opts)
+			show("fig2_scaling", t, err)
+			if err == nil && *plot {
+				var x, y, bw []float64
+				for _, p := range pts {
+					x = append(x, float64(p.Ranks))
+					y = append(y, p.Speedup)
+					bw = append(bw, p.BandwidthGBs)
+				}
+				fmt.Println(asciiplot.Plot{
+					Title: "Fig. 2: speedup vs ranks (note the prime dips)", XLabel: "ranks",
+					Series: []asciiplot.Series{{Name: "speedup", X: x, Y: y}},
+				}.Render())
+				fmt.Println(asciiplot.Plot{
+					Title: "Fig. 2: memory bandwidth [GB/s]", XLabel: "ranks",
+					Series: []asciiplot.Series{{Name: "bandwidth", X: x, Y: bw}},
+				}.Render())
+			}
+		case "balance":
+			_, t, err := cloversim.Figure3CodeBalance(opts)
+			show("fig3_code_balance", t, err)
+		case "mpi":
+			_, t, err := cloversim.Figure4MPIShare(opts)
+			show("fig4_mpi_share", t, err)
+		case "stores":
+			pts, t, err := cloversim.FigureStoreRatio(opts)
+			show("stores_"+opts.MachineName, t, err)
+			if err == nil && *plot {
+				var x, st1, nt1 []float64
+				for _, p := range pts {
+					x = append(x, float64(p.Cores))
+					st1 = append(st1, p.Normal[0])
+					nt1 = append(nt1, p.NT[0])
+				}
+				fmt.Println(asciiplot.Plot{
+					Title: "Store ratio on " + opts.MachineName, XLabel: "cores",
+					Series: []asciiplot.Series{
+						{Name: "ST-1", X: x, Y: st1},
+						{Name: "ST-NT-1", X: x, Y: nt1},
+					},
+				}.Render())
+			}
+		case "copyvol":
+			_, t, err := cloversim.Figure6CopyVolumes(opts)
+			show("fig6_copy_volumes", t, err)
+		case "model":
+			_, t, err := cloversim.Figure7RefinedModel(opts)
+			show("fig7_refined_model", t, err)
+		case "halo":
+			_, t, err := cloversim.FigureHaloCopy(opts, *pfoff)
+			show("halo_"+opts.MachineName, t, err)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"profile", "table1", "scaling", "balance", "mpi", "stores", "copyvol", "model", "halo"} {
+			run(name)
+		}
+		// The SPR figures (9, 10, 11) on their machines.
+		for _, m := range []string{"spr8470+s", "spr8480"} {
+			opts.MachineName = m
+			run("stores")
+		}
+		opts.MachineName = "spr8480"
+		run("halo")
+		return
+	}
+	run(*exp)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command storebench runs the store-ratio microbenchmark (the
+// likwid-bench store_avx512 / store_mem_avx512 analogue, Figs. 5/9/10):
+// 1-3 store streams, normal or non-temporal, swept over core counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloversim/internal/bench"
+	"cloversim/internal/machine"
+)
+
+func main() {
+	var (
+		mach    = flag.String("machine", "icx", fmt.Sprintf("machine preset %v", machine.Names()))
+		streams = flag.Int("streams", 1, "number of store streams (1-3)")
+		nt      = flag.Bool("nt", false, "non-temporal stores")
+		cores   = flag.Int("cores", 0, "core count (0 = sweep all)")
+		pfoff   = flag.Bool("pfoff", false, "disable hardware prefetchers")
+		volume  = flag.Int64("bytes", 2<<20, "bytes stored per stream per core")
+	)
+	flag.Parse()
+
+	spec, ok := machine.ByName(*mach)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "storebench: unknown machine %q\n", *mach)
+		os.Exit(1)
+	}
+	run := func(n int) {
+		r, err := bench.RunStore(bench.StoreOptions{
+			Machine: spec, Streams: *streams, NT: *nt, Cores: n,
+			BytesPerStream: *volume, PFOff: *pfoff,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "storebench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%3d cores: stored %.2f MB  read %.2f MB  write %.2f MB  ItoM %.2f MB  ratio %.3f\n",
+			n, r.Stored/1e6, r.V.Read/1e6, r.V.Write/1e6, r.V.ItoM/1e6, r.Ratio())
+	}
+	if *cores > 0 {
+		run(*cores)
+		return
+	}
+	for n := 1; n <= spec.Cores(); n++ {
+		run(n)
+	}
+}

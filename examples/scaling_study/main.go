@@ -1,0 +1,51 @@
+// Scaling study: reproduce the shape of the paper's Fig. 2 — speedup and
+// memory bandwidth versus MPI rank count with compact pinning — and show
+// the prime-number breakdowns (speedup dips without bandwidth dips).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cloversim"
+)
+
+func main() {
+	opts := cloversim.Options{
+		// A representative subset keeps this example fast; run
+		// cmd/experiments -exp scaling for the full 1..72 sweep.
+		Ranks: []int{1, 2, 4, 6, 9, 12, 16, 17, 18, 19, 20, 24, 29, 30,
+			36, 37, 38, 43, 44, 48, 53, 54, 60, 64, 67, 68, 71, 72},
+	}
+	pts, _, err := cloversim.Figure2Scaling(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ranks  speedup  bandwidth   inner-dim  (bar: speedup; * = prime)")
+	for _, p := range pts {
+		mark := " "
+		if p.Prime {
+			mark = "*"
+		}
+		bar := strings.Repeat("#", int(p.Speedup+0.5))
+		fmt.Printf("%4d%s %8.2f %7.0f GB/s %8d  %s\n",
+			p.Ranks, mark, p.Speedup, p.BandwidthGBs, p.InnerDimension, bar)
+	}
+
+	// Quantify the prime effect at the top of the node.
+	var s71, s72 float64
+	for _, p := range pts {
+		if p.Ranks == 71 {
+			s71 = p.Speedup
+		}
+		if p.Ranks == 72 {
+			s72 = p.Speedup
+		}
+	}
+	fmt.Printf("\nPrime-number effect: speedup(71) = %.2f vs speedup(72) = %.2f (-%.1f%%)\n",
+		s71, s72, 100*(1-s71/s72))
+	fmt.Println("Bandwidth stays saturated at prime counts — the slowdown is extra traffic,")
+	fmt.Println("not lost bandwidth (SpecI2M write-allocate evasion fails on short inner loops).")
+}

@@ -1,0 +1,80 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out := Line("speedup", "ranks", []float64{1, 2, 3, 4}, []float64{1, 2, 3, 4})
+	if !strings.Contains(out, "speedup") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data points drawn")
+	}
+	// Monotone series: the topmost marker must be to the right of the
+	// bottom one.
+	var first, last int
+	for _, l := range lines {
+		if i := strings.IndexByte(l, '*'); i >= 0 {
+			if first == 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if last >= first {
+		t.Errorf("increasing series should descend left: top col %d, bottom col %d", first, last)
+	}
+}
+
+func TestRenderMultiSeries(t *testing.T) {
+	p := Plot{
+		Title:  "fig5",
+		XLabel: "cores",
+		Series: []Series{
+			{Name: "ST-1", X: []float64{1, 2}, Y: []float64{2, 1}},
+			{Name: "NT-1", X: []float64{1, 2}, Y: []float64{1, 1.2}},
+		},
+	}
+	out := p.Render()
+	for _, want := range []string{"[*] ST-1", "[o] NT-1", "o", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	if out := Line("empty", "", nil, nil); !strings.Contains(out, "no data") {
+		t.Error("empty plot should say so")
+	}
+	// Constant series must not divide by zero.
+	out := Line("const", "x", []float64{1, 2, 3}, []float64{5, 5, 5})
+	if strings.Contains(out, "NaN") {
+		t.Error("NaN leaked into the render")
+	}
+	// NaN points are skipped.
+	out = Line("nan", "x", []float64{1, math.NaN(), 3}, []float64{1, math.NaN(), 3})
+	if !strings.Contains(out, "*") {
+		t.Error("valid points should still draw")
+	}
+}
+
+func TestFixedRange(t *testing.T) {
+	lo, hi := 1.0, 2.0
+	p := Plot{
+		Series:  []Series{{X: []float64{0, 1}, Y: []float64{1.5, 1.5}}},
+		YMinFix: &lo, YMaxFix: &hi,
+	}
+	out := p.Render()
+	if !strings.Contains(out, "2.000") || !strings.Contains(out, "1.000") {
+		t.Errorf("fixed range not applied:\n%s", out)
+	}
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"cloversim/internal/machine"
+)
+
+// TestCLXNoEvasionBaseline: Cascade Lake (pre-SpecI2M) keeps the store
+// ratio at 2.0 at every core count — the contrast that makes the ICX
+// behaviour (Fig. 5) attributable to the new feature.
+func TestCLXNoEvasionBaseline(t *testing.T) {
+	clx := machine.CLX8280()
+	for _, n := range []int{1, 14, 28, 56} {
+		r, err := RunStore(StoreOptions{Machine: clx, Streams: 1, Cores: n, BytesPerStream: 1 << 19})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Ratio()-2.0) > 0.01 {
+			t.Errorf("CLX at %d cores: ratio %.3f, want 2.0 (no SpecI2M)", n, r.Ratio())
+		}
+	}
+	// NT stores still work on CLX (they predate SpecI2M by decades).
+	nt, err := RunStore(StoreOptions{Machine: clx, Streams: 1, NT: true, Cores: 28, BytesPerStream: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Ratio() > 1.06 {
+		t.Errorf("CLX NT ratio %.3f, want ~1.0", nt.Ratio())
+	}
+}
+
+// TestCLXCopyKeepsWA: the copy kernel on CLX reads 16 B/it at every
+// thread count (the Fig. 6 curve never drops without SpecI2M).
+func TestCLXCopyKeepsWA(t *testing.T) {
+	clx := machine.CLX8280()
+	for _, n := range []int{1, 28} {
+		r, err := RunCopy(CopyOptions{Machine: clx, Cores: n, Elems: 1 << 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.ReadPerIt()-16) > 0.3 {
+			t.Errorf("CLX copy at %d threads reads %.2f B/it, want 16", n, r.ReadPerIt())
+		}
+		if r.ItoMPerIt() != 0 {
+			t.Errorf("CLX claimed %.2f B/it", r.ItoMPerIt())
+		}
+	}
+}

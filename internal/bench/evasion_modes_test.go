@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"cloversim/internal/machine"
+)
+
+// TestN1WriteStreamingWorksSerially: the defining contrast with SpecI2M
+// (Sec. II-D): ARM's write-streaming mode needs no bandwidth pressure,
+// so a single core already avoids write-allocates.
+func TestN1WriteStreamingWorksSerially(t *testing.T) {
+	n1 := machine.NeoverseN1()
+	r, err := RunStore(StoreOptions{Machine: n1, Streams: 1, Cores: 1, BytesPerStream: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio() > 1.10 {
+		t.Errorf("N1 serial store ratio %.3f, want ~1.03 (write-streaming)", r.Ratio())
+	}
+	// ICX at the same single-core point is 2.0.
+	icx, _ := RunStore(StoreOptions{Machine: machine.ICX8360Y(), Streams: 1, Cores: 1, BytesPerStream: 1 << 20})
+	if icx.Ratio() < 1.95 {
+		t.Errorf("ICX serial should write-allocate fully: %.3f", icx.Ratio())
+	}
+}
+
+// TestN1ShortLoopsStillSuffer: write-streaming also uses a run detector,
+// so the prime-number-effect mechanism (short inner loops) carries over
+// to ARM — an extension prediction of the model.
+func TestN1ShortLoopsStillSuffer(t *testing.T) {
+	n1 := machine.NeoverseN1()
+	long, err := RunCopy(CopyOptions{Machine: n1, Cores: 8, Elems: 1 << 17, Inner: 1920, Halo: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := RunCopy(CopyOptions{Machine: n1, Cores: 8, Elems: 1 << 17, Inner: 32, Halo: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.RWRatio() <= long.RWRatio()+0.05 {
+		t.Errorf("short rows %.3f should degrade vs long %.3f on N1 too",
+			short.RWRatio(), long.RWRatio())
+	}
+}
+
+// TestA64FXClaimZero: cache-line claim avoids the memory read and —
+// unlike NT/write-streaming — leaves the data reusable in cache.
+func TestA64FXClaimZero(t *testing.T) {
+	fx := machine.A64FX()
+	r, err := RunStore(StoreOptions{Machine: fx, Streams: 1, Cores: 1, BytesPerStream: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio() > 1.06 {
+		t.Errorf("A64FX serial store ratio %.3f, want ~1.02 (DC ZVA)", r.Ratio())
+	}
+	if r.V.ItoM == 0 {
+		t.Error("claim events not recorded")
+	}
+}
+
+// TestA64FXShortLoopsFine: DC ZVA is compiler-issued (MinRunLines 1), so
+// short inner loops barely hurt — the A64FX would not show the paper's
+// prime-number effect.
+func TestA64FXShortLoopsFine(t *testing.T) {
+	fx := machine.A64FX()
+	long, err := RunCopy(CopyOptions{Machine: fx, Cores: 4, Elems: 1 << 17, Inner: 1920, Halo: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := RunCopy(CopyOptions{Machine: fx, Cores: 4, Elems: 1 << 17, Inner: 216, Halo: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(short.RWRatio()-long.RWRatio()) > 0.05 {
+		t.Errorf("A64FX should be loop-length insensitive: short %.3f vs long %.3f",
+			short.RWRatio(), long.RWRatio())
+	}
+}
+
+func TestARMPresetsValidate(t *testing.T) {
+	for _, name := range []string{machine.NameNeoverseN1, machine.NameA64FX} {
+		s, ok := machine.ByName(name)
+		if !ok {
+			t.Fatalf("preset %s missing", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package cloverleaf
+
+import "fmt"
+
+// State defines one initial-condition region, mirroring clover.in state
+// lines: a background state plus embedded energetic regions.
+type State struct {
+	Density float64
+	Energy  float64
+	XVel    float64
+	YVel    float64
+	// Geometry: rectangle [XMin,XMax] x [YMin,YMax] in physical
+	// coordinates. The first state is the background and ignores these.
+	XMin, XMax, YMin, YMax float64
+}
+
+// Config describes a CloverLeaf problem.
+type Config struct {
+	// GridX, GridY are the global cell counts.
+	GridX, GridY int
+	// Physical extents.
+	XMin, XMax, YMin, YMax float64
+	// States: States[0] is the background.
+	States []State
+	// EndStep terminates after this many steps.
+	EndStep int
+	// EndTime, when positive, terminates once the simulated time reaches
+	// it (the timestep is clamped so the end time is hit exactly).
+	EndTime float64
+	// DtInit, DtMax, DtRise control the timestep ramp.
+	DtInit, DtMax, DtRise float64
+	// Gamma is the ideal-gas ratio of specific heats.
+	Gamma float64
+}
+
+// Tiny returns the SPEChpc 2021 "Tiny" working set geometry
+// (519.clvleaf_t: 15360^2 cells, 400 steps) with the standard CloverLeaf
+// two-state setup scaled to the square domain.
+func Tiny() Config {
+	return Config{
+		GridX: 15360, GridY: 15360,
+		XMin: 0, XMax: 15.36, YMin: 0, YMax: 15.36,
+		States: []State{
+			{Density: 0.2, Energy: 1.0},
+			{Density: 1.0, Energy: 2.5, XMin: 0, XMax: 7.68, YMin: 0, YMax: 3.84},
+		},
+		EndStep: 400,
+		DtInit:  0.04, DtMax: 0.04, DtRise: 1.5,
+		Gamma: 1.4,
+	}
+}
+
+// Small returns a laptop-scale problem with the same physics, used by the
+// examples and the test suite.
+func Small(cells, steps int) Config {
+	c := Tiny()
+	c.GridX, c.GridY = cells, cells
+	c.EndStep = steps
+	// Keep the cell size of the Tiny set so dt scales identically.
+	c.XMax = float64(cells) * 0.001
+	c.YMax = c.XMax
+	c.States[1].XMax = c.XMax / 2
+	c.States[1].YMax = c.YMax / 4
+	c.DtInit = 0.04 * float64(cells) / 15360
+	c.DtMax = c.DtInit
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.GridX <= 0 || c.GridY <= 0:
+		return errf("non-positive grid %dx%d", c.GridX, c.GridY)
+	case c.XMax <= c.XMin || c.YMax <= c.YMin:
+		return errf("empty physical domain")
+	case len(c.States) == 0:
+		return errf("no states")
+	case c.EndStep <= 0:
+		return errf("non-positive end step")
+	case c.Gamma <= 1:
+		return errf("gamma must exceed 1")
+	}
+	return nil
+}
+
+func errf(format string, args ...interface{}) error {
+	return fmt.Errorf("cloverleaf: "+format, args...)
+}

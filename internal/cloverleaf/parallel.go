@@ -1,0 +1,112 @@
+package cloverleaf
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Threading: the SPEChpc CloverLeaf combines MPI with OpenMP; the Go
+// equivalent parallelizes every kernel's outer (k) loop over a fixed
+// worker count with static banding. Because bands partition k and every
+// kernel writes only at (j,k) while reading other arrays, banding is
+// race-free and — since the per-k arithmetic order is unchanged —
+// bitwise identical to the serial execution.
+
+// SetThreads configures the worker count used by all kernels on this
+// chunk (0 or 1 = serial, negative = GOMAXPROCS).
+func (c *Chunk) SetThreads(n int) {
+	if n < 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	c.threads = n
+}
+
+// Threads returns the configured worker count.
+func (c *Chunk) Threads() int {
+	if c.threads <= 1 {
+		return 1
+	}
+	return c.threads
+}
+
+// parK runs fn(k) for k in [kLo, kHi], banded over the chunk's workers.
+func (c *Chunk) parK(kLo, kHi int, fn func(k int)) {
+	n := kHi - kLo + 1
+	if n <= 0 {
+		return
+	}
+	t := c.Threads()
+	if t == 1 || n < 2*t {
+		for k := kLo; k <= kHi; k++ {
+			fn(k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	band := (n + t - 1) / t
+	for w := 0; w < t; w++ {
+		lo := kLo + w*band
+		if lo > kHi {
+			break
+		}
+		hi := lo + band - 1
+		if hi > kHi {
+			hi = kHi
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for k := lo; k <= hi; k++ {
+				fn(k)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parKMin runs fn(k) for k in [kLo, kHi] and returns the minimum of the
+// per-k results (used by the timestep reduction).
+func (c *Chunk) parKMin(kLo, kHi int, fn func(k int) float64) float64 {
+	n := kHi - kLo + 1
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	t := c.Threads()
+	if t == 1 || n < 2*t {
+		min := math.Inf(1)
+		for k := kLo; k <= kHi; k++ {
+			min = math.Min(min, fn(k))
+		}
+		return min
+	}
+	var wg sync.WaitGroup
+	band := (n + t - 1) / t
+	mins := make([]float64, t)
+	for w := 0; w < t; w++ {
+		mins[w] = math.Inf(1)
+		lo := kLo + w*band
+		if lo > kHi {
+			continue
+		}
+		hi := lo + band - 1
+		if hi > kHi {
+			hi = kHi
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m := math.Inf(1)
+			for k := lo; k <= hi; k++ {
+				m = math.Min(m, fn(k))
+			}
+			mins[w] = m
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	min := math.Inf(1)
+	for _, m := range mins {
+		min = math.Min(min, m)
+	}
+	return min
+}

@@ -1,0 +1,239 @@
+package cloverleaf
+
+import (
+	"fmt"
+	"sync"
+
+	"cloversim/internal/decomp"
+	"cloversim/internal/machine"
+	"cloversim/internal/memsim"
+	"cloversim/internal/trace"
+)
+
+// TrafficOptions configures a traffic study (the simulation analogue of a
+// likwid-perfctr-instrumented CloverLeaf run).
+type TrafficOptions struct {
+	Machine *machine.Spec
+	Ranks   int
+	// GridX, GridY: global mesh (defaults to the paper's 15360^2).
+	GridX, GridY int
+	// MaxRows truncates each rank's y extent for speed (traffic per
+	// iteration is row-invariant once layer conditions are warm);
+	// 0 = full extent.
+	MaxRows int
+	// Build knobs of the paper's patched CloverLeaf (config.mk).
+	AlignArrays   bool
+	NTStores      bool
+	OptimizeLoops bool
+	// SpecI2MOff disables the write-allocate-evasion feature (MSR bit).
+	SpecI2MOff bool
+	// PFOff disables the hardware prefetchers (likwid-features).
+	PFOff bool
+	// HotspotOnly skips the auxiliary (non-Table-I) kernels.
+	HotspotOnly bool
+	Seed        uint64
+}
+
+func (o *TrafficOptions) defaults() {
+	if o.GridX == 0 {
+		o.GridX = 15360
+	}
+	if o.GridY == 0 {
+		o.GridY = 15360
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5eed
+	}
+}
+
+// LoopTraffic aggregates one loop's simulated traffic across all ranks.
+type LoopTraffic struct {
+	Name         string
+	Kernel       string
+	Hotspot      bool
+	CallsPerStep float64
+	FlopsPerIt   int
+	// Counts is the node-aggregate traffic of ONE call of the loop
+	// (scaled from the truncated simulation to the full y extent).
+	Counts memsim.Counts
+	// scaled volumes as floats (scaling produces non-integers)
+	ReadBytes, WriteBytes, ItoMBytes float64
+	// Iters is the node-aggregate iteration count of one call.
+	Iters float64
+}
+
+// TotalBytes returns read+write volume of one call.
+func (l *LoopTraffic) TotalBytes() float64 { return l.ReadBytes + l.WriteBytes }
+
+// BytesPerIt returns the code balance normalized the way the paper does:
+// volume per call divided by the global inner cell count.
+func (l *LoopTraffic) BytesPerIt(innerCells float64) float64 {
+	return l.TotalBytes() / innerCells
+}
+
+// ReadPerIt returns read bytes per inner grid cell.
+func (l *LoopTraffic) ReadPerIt(innerCells float64) float64 {
+	return l.ReadBytes / innerCells
+}
+
+// WritePerIt returns write bytes per inner grid cell.
+func (l *LoopTraffic) WritePerIt(innerCells float64) float64 {
+	return l.WriteBytes / innerCells
+}
+
+// TrafficResult is the outcome of one traffic study.
+type TrafficResult struct {
+	Ranks      int
+	InnerCells float64
+	Loops      map[string]*LoopTraffic
+	// RankShapes records how many distinct subdomain/pressure groups
+	// were simulated (diagnostic).
+	RankShapes int
+}
+
+// Loop returns a loop's aggregate (nil if absent).
+func (r *TrafficResult) Loop(name string) *LoopTraffic { return r.Loops[name] }
+
+// BytesPerStep returns the node-aggregate memory volume of one hydro step.
+func (r *TrafficResult) BytesPerStep() float64 {
+	var v float64
+	for _, l := range r.Loops {
+		v += l.TotalBytes() * l.CallsPerStep
+	}
+	return v
+}
+
+// FlopsPerStep returns the node-aggregate flops of one hydro step.
+func (r *TrafficResult) FlopsPerStep() float64 {
+	var v float64
+	for _, l := range r.Loops {
+		v += float64(l.FlopsPerIt) * l.Iters * l.CallsPerStep
+	}
+	return v
+}
+
+// rankGroup identifies ranks with identical simulation conditions.
+type rankGroup struct {
+	xspan, yspan int
+	pressure     float64
+	count        int
+	firstRank    int
+}
+
+// RunTraffic simulates the memory traffic of one hydro step for the
+// given rank count and returns per-loop aggregates.
+func RunTraffic(o TrafficOptions) (*TrafficResult, error) {
+	o.defaults()
+	if o.Machine == nil {
+		return nil, fmt.Errorf("cloverleaf: traffic study needs a machine spec")
+	}
+	if o.Ranks < 1 || o.Ranks > o.Machine.Cores() {
+		return nil, fmt.Errorf("cloverleaf: rank count %d outside 1..%d", o.Ranks, o.Machine.Cores())
+	}
+
+	spec := *o.Machine // shallow copy so the MSR knob does not leak
+	spec.I2M.Enabled = spec.I2M.Enabled && !o.SpecI2MOff
+
+	subs := decomp.Decompose(o.Ranks, o.GridX, o.GridY)
+	groups := map[[3]int]*rankGroup{}
+	for _, s := range subs {
+		p := spec.PressureAt(s.Rank, o.Ranks)
+		key := [3]int{s.XSpan(), s.YSpan(), int(p * 1e6)}
+		g, ok := groups[key]
+		if !ok {
+			groups[key] = &rankGroup{xspan: s.XSpan(), yspan: s.YSpan(), pressure: p, count: 1, firstRank: s.Rank}
+			continue
+		}
+		g.count++
+	}
+
+	env := trace.Env{
+		NodeFraction:  float64(o.Ranks) / float64(spec.Cores()),
+		ActiveSockets: spec.ActiveSockets(o.Ranks),
+		PFOn:          !o.PFOff,
+	}
+
+	type groupResult struct {
+		weights float64
+		loops   []LoopInstance
+		counts  []memsim.Counts
+		scales  []float64
+		iters   []float64
+	}
+	results := make([]groupResult, 0, len(groups))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *rankGroup) {
+			defer wg.Done()
+			// Simulated chunk: full x extent, truncated y extent.
+			t := NewTrafficChunk(1, g.xspan, 1, g.yspan, o.MaxRows, o.AlignArrays)
+			full := NewTrafficChunk(1, g.xspan, 1, g.yspan, 0, o.AlignArrays)
+
+			loops := t.HotspotLoops(o.OptimizeLoops)
+			fullLoops := full.HotspotLoops(o.OptimizeLoops)
+			if !o.HotspotOnly {
+				loops = append(loops, t.AuxLoops()...)
+				fullLoops = append(fullLoops, full.AuxLoops()...)
+			}
+
+			x := trace.NewExecutor(&spec)
+			x.NTStores = o.NTStores
+			e := env
+			e.Pressure = g.pressure
+			x.SetEnv(e)
+			x.E.Seed(o.Seed ^ uint64(g.firstRank+1)*0x9e3779b97f4a7c15)
+
+			gr := groupResult{weights: float64(g.count)}
+			gr.loops = loops
+			for i, li := range loops {
+				c := x.Run(li.Loop, li.Bounds)
+				scale := float64(fullLoops[i].Bounds.Iterations()) / float64(li.Bounds.Iterations())
+				gr.counts = append(gr.counts, c)
+				gr.scales = append(gr.scales, scale)
+				gr.iters = append(gr.iters, float64(fullLoops[i].Bounds.Iterations()))
+			}
+			mu.Lock()
+			results = append(results, gr)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &TrafficResult{
+		Ranks:      o.Ranks,
+		InnerCells: float64(o.GridX) * float64(o.GridY),
+		Loops:      map[string]*LoopTraffic{},
+		RankShapes: len(groups),
+	}
+	for _, gr := range results {
+		for i, li := range gr.loops {
+			lt, ok := res.Loops[li.Loop.Name]
+			if !ok {
+				lt = &LoopTraffic{
+					Name:         li.Loop.Name,
+					Kernel:       li.Kernel,
+					Hotspot:      li.Hotspot,
+					CallsPerStep: li.CallsPerStep,
+					FlopsPerIt:   li.Loop.FlopsPerIt,
+				}
+				res.Loops[li.Loop.Name] = lt
+			}
+			w := gr.weights
+			s := gr.scales[i]
+			c := gr.counts[i]
+			lt.Counts = lt.Counts.Add(c)
+			lt.ReadBytes += w * s * float64(c.ReadBytes())
+			lt.WriteBytes += w * s * float64(c.WriteBytes())
+			lt.ItoMBytes += w * s * float64(c.ItoMLines*64)
+			lt.Iters += w * gr.iters[i]
+		}
+	}
+	return res, nil
+}

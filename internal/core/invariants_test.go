@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloversim/internal/machine"
+)
+
+// TestStorePathConservation: for ANY random sequence of store ranges,
+// every retired line has exactly one fate:
+//
+//	FullLines + PartialLines == Claimed + RFOs + NTLines + NTReverted
+func TestStorePathConservation(t *testing.T) {
+	f := func(ops []uint32, nt bool, pressure uint8) bool {
+		be := &fakeBackend{}
+		e := NewStoreEngine(be, machine.ICX8360Y())
+		e.ConfigureStreams(2, []bool{nt, false})
+		e.SetContext(Context{
+			Pressure:      float64(pressure%101) / 100,
+			NodeFraction:  0.5,
+			ActiveSockets: 1,
+			Class:         machine.ClassStencil,
+			StoreStreams:  2,
+			Eligible:      true,
+			PFOn:          true,
+		})
+		for _, op := range ops {
+			stream := int(op & 1)
+			addr := int64((op >> 1) % 65536)
+			n := int64(op>>17)%512 + 1
+			e.StoreRange(stream, addr*8, n*8)
+		}
+		e.CloseAll()
+		s := e.Stats()
+		retired := s.FullLines + s.PartialLines
+		fates := s.Claimed + s.RFOs + s.NTLines + s.NTReverted
+		return retired == fates &&
+			int64(len(be.claims)) == s.Claimed &&
+			int64(len(be.rfos)) == s.RFOs &&
+			int64(len(be.nts)) == s.NTLines &&
+			int64(len(be.reverts)) == s.NTReverted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClaimsNeverExceedFullLines: partial lines can never be claimed.
+func TestClaimsNeverExceedFullLines(t *testing.T) {
+	f := func(lens []uint16) bool {
+		be := &fakeBackend{}
+		e := NewStoreEngine(be, machine.ICX8360Y())
+		e.ConfigureStreams(1, nil)
+		e.SetContext(ctxFullEvasion())
+		addr := int64(0)
+		for _, l := range lens {
+			n := int64(l%300) + 1
+			e.StoreRange(0, addr, n)
+			addr += n + int64(l%7)*64 // occasional gaps
+		}
+		e.CloseAll()
+		s := e.Stats()
+		return s.Claimed <= s.FullLines
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestZeroLengthStore is a no-op.
+func TestZeroLengthStore(t *testing.T) {
+	be := &fakeBackend{}
+	e := NewStoreEngine(be, machine.ICX8360Y())
+	e.ConfigureStreams(1, nil)
+	e.SetContext(ctxNoEvasion())
+	e.StoreRange(0, 128, 0)
+	e.StoreRange(0, 128, -64)
+	e.CloseAll()
+	if s := e.Stats(); s.FullLines != 0 || s.PartialLines != 0 {
+		t.Fatalf("zero-length stores retired lines: %+v", s)
+	}
+}
+
+// TestRevisitedLineIdempotent: storing the same bytes twice in an open
+// line retires it once.
+func TestRevisitedLineIdempotent(t *testing.T) {
+	be := &fakeBackend{}
+	e := NewStoreEngine(be, machine.ICX8360Y())
+	e.ConfigureStreams(1, nil)
+	e.SetContext(ctxNoEvasion())
+	e.StoreRange(0, 0, 32)
+	e.StoreRange(0, 0, 32) // same half-line again
+	e.StoreRange(0, 32, 32)
+	e.CloseAll()
+	s := e.Stats()
+	if s.FullLines != 1 || s.PartialLines != 0 {
+		t.Fatalf("idempotence broken: %+v", s)
+	}
+}

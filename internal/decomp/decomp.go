@@ -1,0 +1,143 @@
+// Package decomp reimplements CloverLeaf's 2D domain decomposition
+// (clover_decompose): the number of MPI ranks is factorized into a
+// chunks_x × chunks_y grid so that subdomains stay as square as possible.
+// For a square mesh and a prime rank count the only nontrivial
+// factorization is 1 × n, and CloverLeaf then cuts the *inner* (x)
+// dimension — the geometric root of the paper's prime-number effect.
+package decomp
+
+// IsPrime reports whether n is prime.
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Factorize returns (chunksX, chunksY) for n ranks on a gridX x gridY
+// mesh, following CloverLeaf's algorithm: pick the smallest divisor c of
+// n with (n/c)/c <= gridX/gridY as chunksY; if none exists below n (n
+// prime), cut the x dimension into n chunks.
+func Factorize(n, gridX, gridY int) (cx, cy int) {
+	if n <= 1 {
+		return 1, 1
+	}
+	meshRatio := float64(gridX) / float64(gridY)
+	for c := 1; c <= n; c++ {
+		if n%c != 0 {
+			continue
+		}
+		fx := float64(n / c)
+		fy := float64(c)
+		if fx/fy <= meshRatio {
+			cx, cy = n/c, c
+			break
+		}
+	}
+	if cx == 0 || cy == n && n > 1 {
+		// No balanced split found (prime n on a square mesh): CloverLeaf
+		// cuts along x when the mesh is at least as wide as tall.
+		if meshRatio >= 1 {
+			return n, 1
+		}
+		return 1, n
+	}
+	return cx, cy
+}
+
+// Subdomain is one rank's cell range (global, inclusive, 1-based like the
+// Fortran code).
+type Subdomain struct {
+	Rank                   int
+	XMin, XMax, YMin, YMax int
+	CoordX, CoordY         int // position in the chunk grid
+}
+
+// XSpan returns the inner x extent in cells.
+func (s Subdomain) XSpan() int { return s.XMax - s.XMin + 1 }
+
+// YSpan returns the inner y extent in cells.
+func (s Subdomain) YSpan() int { return s.YMax - s.YMin + 1 }
+
+// Decompose splits a gridX x gridY mesh over n ranks. Leftover cells
+// (grid not divisible by the chunk count) are distributed to the first
+// chunks in each dimension, as CloverLeaf does.
+func Decompose(n, gridX, gridY int) []Subdomain {
+	cx, cy := Factorize(n, gridX, gridY)
+	dx, mx := gridX/cx, gridX%cx
+	dy, my := gridY/cy, gridY%cy
+
+	xlo := make([]int, cx+1)
+	xlo[0] = 1
+	for i := 0; i < cx; i++ {
+		w := dx
+		if i < mx {
+			w++
+		}
+		xlo[i+1] = xlo[i] + w
+	}
+	ylo := make([]int, cy+1)
+	ylo[0] = 1
+	for i := 0; i < cy; i++ {
+		h := dy
+		if i < my {
+			h++
+		}
+		ylo[i+1] = ylo[i] + h
+	}
+
+	subs := make([]Subdomain, 0, n)
+	rank := 0
+	for ky := 0; ky < cy; ky++ {
+		for kx := 0; kx < cx; kx++ {
+			subs = append(subs, Subdomain{
+				Rank:   rank,
+				XMin:   xlo[kx],
+				XMax:   xlo[kx+1] - 1,
+				YMin:   ylo[ky],
+				YMax:   ylo[ky+1] - 1,
+				CoordX: kx,
+				CoordY: ky,
+			})
+			rank++
+		}
+	}
+	return subs
+}
+
+// Neighbors returns the ranks adjacent to s in the chunk grid
+// (left, right, bottom, top), or -1 at the mesh boundary.
+func Neighbors(s Subdomain, cx, cy int) (left, right, bottom, top int) {
+	idx := func(x, y int) int { return y*cx + x }
+	left, right, bottom, top = -1, -1, -1, -1
+	if s.CoordX > 0 {
+		left = idx(s.CoordX-1, s.CoordY)
+	}
+	if s.CoordX < cx-1 {
+		right = idx(s.CoordX+1, s.CoordY)
+	}
+	if s.CoordY > 0 {
+		bottom = idx(s.CoordX, s.CoordY-1)
+	}
+	if s.CoordY < cy-1 {
+		top = idx(s.CoordX, s.CoordY+1)
+	}
+	return
+}
+
+// InnerDim returns the local inner (x) dimension of the largest chunk for
+// n ranks on the square paper grid — the quantity the paper correlates
+// with SpecI2M failure (216 for 71 ranks, 809 for 19, 1920 for 64/72).
+func InnerDim(n, gridX, gridY int) int {
+	cx, _ := Factorize(n, gridX, gridY)
+	d := gridX / cx
+	if gridX%cx != 0 {
+		d++
+	}
+	return d
+}

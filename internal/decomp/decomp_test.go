@@ -1,0 +1,159 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{
+		2: true, 3: true, 5: true, 7: true, 17: true, 19: true,
+		37: true, 71: true, 1: false, 0: false, -3: false,
+		4: false, 9: false, 38: false, 72: false, 15360: false,
+	}
+	for n, want := range primes {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestFactorizeSquare checks the CloverLeaf factorization on the paper's
+// square Tiny grid for the rank counts the paper discusses.
+func TestFactorizeSquare(t *testing.T) {
+	cases := []struct{ n, cx, cy int }{
+		{1, 1, 1},
+		{2, 2, 1}, // 2 is prime: the fallback cuts the inner dimension
+		{4, 2, 2},
+		{36, 6, 6},
+		{64, 8, 8},
+		{72, 8, 9},
+		{19, 19, 1}, // prime: inner (x) dimension is cut
+		{37, 37, 1},
+		{71, 71, 1},
+	}
+	for _, c := range cases {
+		cx, cy := Factorize(c.n, 15360, 15360)
+		if cx != c.cx || cy != c.cy {
+			t.Errorf("Factorize(%d) = %dx%d, want %dx%d", c.n, cx, cy, c.cx, c.cy)
+		}
+	}
+}
+
+// TestInnerDimPaperValues checks the local inner dimensions the paper
+// quotes: ~216 for 71 ranks, 809 for 19, 1920 for 64 and 72.
+func TestInnerDimPaperValues(t *testing.T) {
+	cases := map[int]int{71: 217, 19: 809, 64: 1920, 72: 1920, 1: 15360}
+	for n, want := range cases {
+		if got := InnerDim(n, 15360, 15360); got != want {
+			t.Errorf("InnerDim(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// Non-prime counts above 1 rank have inner dimensions >= 1920.
+	for n := 2; n <= 72; n++ {
+		if !IsPrime(n) {
+			if d := InnerDim(n, 15360, 15360); d < 1920 {
+				t.Errorf("non-prime %d ranks has inner dim %d < 1920", n, d)
+			}
+		}
+	}
+}
+
+// TestFactorizeProperty: cx*cy == n for any n, and primes always cut x on
+// wide-or-square meshes.
+func TestFactorizeProperty(t *testing.T) {
+	f := func(n uint8, gx, gy uint16) bool {
+		nn := int(n%200) + 1
+		gxx, gyy := int(gx%4000)+100, int(gy%4000)+100
+		cx, cy := Factorize(nn, gxx, gyy)
+		if cx*cy != nn || cx < 1 || cy < 1 {
+			return false
+		}
+		if IsPrime(nn) && gxx >= gyy && cx != nn {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecomposePartition: subdomains tile the mesh exactly.
+func TestDecomposePartition(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 12, 19, 36, 71, 72} {
+		subs := Decompose(n, 15360, 15360)
+		if len(subs) != n {
+			t.Fatalf("n=%d: got %d subdomains", n, len(subs))
+		}
+		cells := 0
+		for i, s := range subs {
+			if s.Rank != i {
+				t.Fatalf("n=%d: rank %d at index %d", n, s.Rank, i)
+			}
+			if s.XMax < s.XMin || s.YMax < s.YMin {
+				t.Fatalf("n=%d: empty subdomain %+v", n, s)
+			}
+			cells += s.XSpan() * s.YSpan()
+		}
+		if cells != 15360*15360 {
+			t.Errorf("n=%d: subdomains cover %d cells, want %d", n, cells, 15360*15360)
+		}
+	}
+}
+
+// TestDecomposeBalance: spans differ by at most one cell.
+func TestDecomposeBalance(t *testing.T) {
+	for _, n := range []int{5, 7, 19, 71} {
+		subs := Decompose(n, 15360, 15360)
+		minX, maxX := 1<<30, 0
+		for _, s := range subs {
+			if s.XSpan() < minX {
+				minX = s.XSpan()
+			}
+			if s.XSpan() > maxX {
+				maxX = s.XSpan()
+			}
+		}
+		if maxX-minX > 1 {
+			t.Errorf("n=%d: x spans range %d..%d", n, minX, maxX)
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	subs := Decompose(6, 600, 600) // 2x3 or 3x2 grid
+	cx, cy := Factorize(6, 600, 600)
+	if cx*cy != 6 {
+		t.Fatal("bad factorization")
+	}
+	seen := map[int]int{}
+	for _, s := range subs {
+		l, r, b, tp := Neighbors(s, cx, cy)
+		for _, nb := range []int{l, r, b, tp} {
+			if nb >= 0 {
+				seen[nb]++
+				// Symmetry: the neighbor must list s back.
+				ns := subs[nb]
+				nl, nr, nb2, nt := Neighbors(ns, cx, cy)
+				if nl != s.Rank && nr != s.Rank && nb2 != s.Rank && nt != s.Rank {
+					t.Errorf("rank %d lists %d but not vice versa", s.Rank, ns.Rank)
+				}
+			}
+		}
+	}
+	if len(seen) != 6 {
+		t.Errorf("not all ranks appear as neighbors in a 2x3 grid: %v", seen)
+	}
+}
+
+func TestNeighborsEdges(t *testing.T) {
+	subs := Decompose(4, 100, 100) // 2x2
+	l, r, b, tp := Neighbors(subs[0], 2, 2)
+	if l != -1 || b != -1 {
+		t.Errorf("corner rank 0 should have no left/bottom, got %d/%d", l, b)
+	}
+	if r != 1 || tp != 2 {
+		t.Errorf("rank 0 neighbors = right %d top %d, want 1/2", r, tp)
+	}
+}

@@ -1,0 +1,257 @@
+// Package likwid emulates the measurement surface of the LIKWID tool
+// suite used throughout the paper: performance groups (MEM, MEM_DP, and
+// the custom SPECI2M group of Listing 4), uncore event aggregation
+// (CAS_COUNT_RD/WR at the MBOXes, TOR_INSERTS_IA_ITOM at the CBOXes),
+// derived metrics, likwid-perfctr-style formatted output, and the
+// likwid-features prefetcher toggles.
+//
+// The "hardware" behind the events is internal/memsim; a Session wraps
+// one or more simulated cores and renders the same tables an operator
+// would read off likwid-perfctr.
+package likwid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloversim/internal/memsim"
+)
+
+// Event names, following Intel/LIKWID nomenclature for ICX and SPR.
+const (
+	EventCASCountRD     = "CAS_COUNT_RD"            // memory controller reads
+	EventCASCountWR     = "CAS_COUNT_WR"            // memory controller writes
+	EventTORInsertsIToM = "TOR_INSERTS_IA_ITOM"     // SpecI2M claims (CHA)
+	EventL1Hits         = "MEM_LOAD_RETIRED_L1_HIT" // core-side cache hits
+	EventL2Hits         = "MEM_LOAD_RETIRED_L2_HIT"
+	EventL3Hits         = "MEM_LOAD_RETIRED_L3_HIT"
+	EventPrefetchFills  = "L2_LINES_IN_PREFETCH"
+	EventNTStores       = "OCR_STREAMING_WR"
+	EventFlopsDP        = "FP_ARITH_INST_RETIRED_SCALAR_DOUBLE"
+	EventInstrRetired   = "INSTR_RETIRED_ANY"
+)
+
+// Group is a performance group: a set of events plus derived metrics.
+type Group struct {
+	Name        string
+	Description string
+	Events      []string
+	// Metrics maps metric name to a function over raw event counts and
+	// the measurement time.
+	Metrics []Metric
+}
+
+// Metric is one derived quantity of a group.
+type Metric struct {
+	Name string
+	Unit string
+	Eval func(ev map[string]float64, seconds float64) float64
+}
+
+// lineBytes is the cache-line size used for volume conversion.
+const lineBytes = 64
+
+func volGB(lines float64) float64 { return lines * lineBytes * 1e-9 }
+
+// MEM returns the MEM group: read/write data volume and bandwidth.
+func MEM() *Group {
+	return &Group{
+		Name:        "MEM",
+		Description: "Memory read/write data volume and bandwidth",
+		Events:      []string{EventCASCountRD, EventCASCountWR},
+		Metrics: []Metric{
+			{"Memory read data volume [GBytes]", "GB", func(ev map[string]float64, _ float64) float64 {
+				return volGB(ev[EventCASCountRD])
+			}},
+			{"Memory write data volume [GBytes]", "GB", func(ev map[string]float64, _ float64) float64 {
+				return volGB(ev[EventCASCountWR])
+			}},
+			{"Memory data volume [GBytes]", "GB", func(ev map[string]float64, _ float64) float64 {
+				return volGB(ev[EventCASCountRD] + ev[EventCASCountWR])
+			}},
+			{"Memory bandwidth [MBytes/s]", "MB/s", func(ev map[string]float64, s float64) float64 {
+				if s <= 0 {
+					return 0
+				}
+				return (ev[EventCASCountRD] + ev[EventCASCountWR]) * lineBytes * 1e-6 / s
+			}},
+		},
+	}
+}
+
+// MEMDP returns the MEM_DP group: MEM plus double-precision flops.
+func MEMDP() *Group {
+	g := MEM()
+	g.Name = "MEM_DP"
+	g.Description = "Memory volume/bandwidth and double-precision flops"
+	g.Events = append(g.Events, EventFlopsDP)
+	g.Metrics = append(g.Metrics,
+		Metric{"DP [MFLOP/s]", "MFLOP/s", func(ev map[string]float64, s float64) float64 {
+			if s <= 0 {
+				return 0
+			}
+			return ev[EventFlopsDP] * 1e-6 / s
+		}},
+		Metric{"Operational intensity [FLOP/byte]", "F/B", func(ev map[string]float64, _ float64) float64 {
+			v := (ev[EventCASCountRD] + ev[EventCASCountWR]) * lineBytes
+			if v == 0 {
+				return 0
+			}
+			return ev[EventFlopsDP] / v
+		}},
+	)
+	return g
+}
+
+// SPECI2M returns the custom group of the paper's Listing 4: memory
+// volumes plus the SpecI2M claim volume counted at the CHAs.
+func SPECI2M() *Group {
+	g := MEM()
+	g.Name = "SPECI2M"
+	g.Description = "Memory bandwidth in MBytes/s including SpecI2M"
+	g.Events = append(g.Events, EventTORInsertsIToM)
+	g.Metrics = append(g.Metrics,
+		Metric{"SpecI2M data volume [GBytes]", "GB", func(ev map[string]float64, _ float64) float64 {
+			return volGB(ev[EventTORInsertsIToM])
+		}},
+		Metric{"SpecI2M evasion ratio", "", func(ev map[string]float64, _ float64) float64 {
+			wr := ev[EventCASCountWR]
+			if wr == 0 {
+				return 0
+			}
+			return ev[EventTORInsertsIToM] / wr
+		}},
+	)
+	return g
+}
+
+// Groups lists all built-in groups by name.
+func Groups() map[string]*Group {
+	return map[string]*Group{"MEM": MEM(), "MEM_DP": MEMDP(), "SPECI2M": SPECI2M()}
+}
+
+// GroupByName resolves a group name (case-insensitive).
+func GroupByName(name string) (*Group, bool) {
+	g, ok := Groups()[strings.ToUpper(name)]
+	return g, ok
+}
+
+// EventsFromCounts converts simulator counters into raw event counts.
+// Flops are attributed externally (the simulator replays addresses, not
+// arithmetic), hence the explicit parameter.
+func EventsFromCounts(c memsim.Counts, flops int64) map[string]float64 {
+	return map[string]float64{
+		EventCASCountRD:     float64(c.MemReadLines),
+		EventCASCountWR:     float64(c.MemWriteLines),
+		EventTORInsertsIToM: float64(c.ItoMLines),
+		EventL1Hits:         float64(c.L1Hits),
+		EventL2Hits:         float64(c.L2Hits),
+		EventL3Hits:         float64(c.L3Hits),
+		EventPrefetchFills:  float64(c.PFLines),
+		EventNTStores:       float64(c.NTLines),
+		EventFlopsDP:        float64(flops),
+		EventInstrRetired:   float64(c.Loads + c.RFOs),
+	}
+}
+
+// Measurement is one region's rendered result.
+type Measurement struct {
+	Region  string
+	Group   string
+	Seconds float64
+	Events  map[string]float64
+	Metrics map[string]float64
+}
+
+// Measure evaluates a group over simulator counts.
+func Measure(g *Group, region string, c memsim.Counts, flops int64, seconds float64) Measurement {
+	ev := EventsFromCounts(c, flops)
+	m := Measurement{
+		Region:  region,
+		Group:   g.Name,
+		Seconds: seconds,
+		Events:  map[string]float64{},
+		Metrics: map[string]float64{},
+	}
+	for _, name := range g.Events {
+		m.Events[name] = ev[name]
+	}
+	for _, metric := range g.Metrics {
+		m.Metrics[metric.Name] = metric.Eval(ev, seconds)
+	}
+	return m
+}
+
+// Format renders the measurement in the likwid-perfctr table style.
+func (m Measurement) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Region %s, Group %s\n", m.Region, m.Group)
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", 58))
+	fmt.Fprintf(&b, "| %-40s | %13s |\n", "Event", "Count")
+	names := make([]string, 0, len(m.Events))
+	for n := range m.Events {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "| %-40s | %13.0f |\n", n, m.Events[n])
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", 58))
+	fmt.Fprintf(&b, "| %-40s | %13s |\n", "Metric", "Value")
+	names = names[:0]
+	for n := range m.Metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "| %-40s | %13.4f |\n", n, m.Metrics[n])
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", 58))
+	return b.String()
+}
+
+// Features emulates likwid-features: named prefetcher toggles.
+type Features struct {
+	HWPrefetcher  bool // L2 streamer
+	CLPrefetcher  bool // adjacent cache line
+	DCUPrefetcher bool // L1 streamer (modeled as part of HW)
+	IPPrefetcher  bool // L1 IP-stride (modeled as part of HW)
+}
+
+// AllOn returns the default feature state.
+func AllOn() Features {
+	return Features{HWPrefetcher: true, CLPrefetcher: true, DCUPrefetcher: true, IPPrefetcher: true}
+}
+
+// Parse applies a likwid-features-style list ("HW_PREFETCHER,CL_PREFETCHER")
+// with enable=true for -e and false for -d.
+func (f Features) Parse(list string, enable bool) (Features, error) {
+	for _, tok := range strings.Split(list, ",") {
+		switch strings.TrimSpace(strings.ToUpper(tok)) {
+		case "HW_PREFETCHER":
+			f.HWPrefetcher = enable
+		case "CL_PREFETCHER":
+			f.CLPrefetcher = enable
+		case "DCU_PREFETCHER":
+			f.DCUPrefetcher = enable
+		case "IP_PREFETCHER":
+			f.IPPrefetcher = enable
+		case "":
+		default:
+			return f, fmt.Errorf("likwid: unknown feature %q", tok)
+		}
+	}
+	return f, nil
+}
+
+// AnyStreamerOn reports whether any streaming prefetcher remains active
+// (the simulator models the streamers collectively).
+func (f Features) AnyStreamerOn() bool {
+	return f.HWPrefetcher || f.DCUPrefetcher || f.IPPrefetcher
+}
+
+// Apply configures a hierarchy according to the feature state.
+func (f Features) Apply(h *memsim.Hierarchy) {
+	h.SetPrefetch(f.AnyStreamerOn())
+}

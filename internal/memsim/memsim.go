@@ -1,0 +1,459 @@
+// Package memsim provides a cache-line-accurate simulation of one core's
+// view of the memory hierarchy: private L1 and L2 caches, a per-core L3
+// slice, hardware prefetcher models, and a memory controller that counts
+// read and write cache-line transfers (the CAS_COUNT_RD / CAS_COUNT_WR
+// analogue of the paper's LIKWID measurements).
+//
+// The hierarchy is write-back, write-allocate with LRU replacement.
+// Layer conditions (Sec. II-C), partial-line write-allocates and prefetch
+// overfetch are emergent properties of the simulation, not parameters.
+//
+// Hierarchy implements core.Backend, so the SpecI2M store engine of
+// internal/core drives it directly.
+package memsim
+
+import (
+	"fmt"
+
+	"cloversim/internal/machine"
+)
+
+// Counts is a snapshot of the memory-controller and hierarchy event
+// counters. All volumes are in cache lines; multiply by 64 for bytes.
+type Counts struct {
+	MemReadLines  int64 // lines read from memory (demand + RFO + prefetch)
+	MemWriteLines int64 // lines written to memory (write-backs + NT)
+	ItoMLines     int64 // SpecI2M claims (TOR_INSERTS_IA_ITOM analogue)
+	NTLines       int64 // non-temporal full/partial line writes
+	NTReverted    int64 // NT stores reverted to regular write-allocates
+	WSLines       int64 // ARM write-streaming direct writes
+	PFLines       int64 // memory reads initiated by the prefetcher
+	L1Hits        int64
+	L2Hits        int64
+	L3Hits        int64
+	Loads         int64 // demand load accesses
+	RFOs          int64 // write-allocate accesses
+}
+
+// Sub returns c - o, counter-wise.
+func (c Counts) Sub(o Counts) Counts {
+	return Counts{
+		MemReadLines:  c.MemReadLines - o.MemReadLines,
+		MemWriteLines: c.MemWriteLines - o.MemWriteLines,
+		ItoMLines:     c.ItoMLines - o.ItoMLines,
+		NTLines:       c.NTLines - o.NTLines,
+		NTReverted:    c.NTReverted - o.NTReverted,
+		WSLines:       c.WSLines - o.WSLines,
+		PFLines:       c.PFLines - o.PFLines,
+		L1Hits:        c.L1Hits - o.L1Hits,
+		L2Hits:        c.L2Hits - o.L2Hits,
+		L3Hits:        c.L3Hits - o.L3Hits,
+		Loads:         c.Loads - o.Loads,
+		RFOs:          c.RFOs - o.RFOs,
+	}
+}
+
+// Add returns c + o, counter-wise.
+func (c Counts) Add(o Counts) Counts {
+	return Counts{
+		MemReadLines:  c.MemReadLines + o.MemReadLines,
+		MemWriteLines: c.MemWriteLines + o.MemWriteLines,
+		ItoMLines:     c.ItoMLines + o.ItoMLines,
+		NTLines:       c.NTLines + o.NTLines,
+		NTReverted:    c.NTReverted + o.NTReverted,
+		WSLines:       c.WSLines + o.WSLines,
+		PFLines:       c.PFLines + o.PFLines,
+		L1Hits:        c.L1Hits + o.L1Hits,
+		L2Hits:        c.L2Hits + o.L2Hits,
+		L3Hits:        c.L3Hits + o.L3Hits,
+		Loads:         c.Loads + o.Loads,
+		RFOs:          c.RFOs + o.RFOs,
+	}
+}
+
+// ReadBytes returns the memory read volume in bytes.
+func (c Counts) ReadBytes() int64 { return c.MemReadLines * 64 }
+
+// WriteBytes returns the memory write volume in bytes.
+func (c Counts) WriteBytes() int64 { return c.MemWriteLines * 64 }
+
+// TotalBytes returns the total memory data volume in bytes.
+func (c Counts) TotalBytes() int64 { return (c.MemReadLines + c.MemWriteLines) * 64 }
+
+// level is one set-associative, write-back, LRU cache level.
+type level struct {
+	sets  int
+	ways  int
+	mask  int64 // sets-1 (sets is a power of two)
+	tags  []int64
+	dirty []bool
+	stamp []uint32
+	clock uint32
+}
+
+func newLevel(g machine.CacheGeom) *level {
+	sets := g.Sets()
+	if sets&(sets-1) != 0 {
+		// Round down to a power of two; keeps indexing cheap and is
+		// within a few percent of the modeled capacity.
+		p := 1
+		for p*2 <= sets {
+			p *= 2
+		}
+		sets = p
+	}
+	l := &level{
+		sets:  sets,
+		ways:  g.Ways,
+		mask:  int64(sets - 1),
+		tags:  make([]int64, sets*g.Ways),
+		dirty: make([]bool, sets*g.Ways),
+		stamp: make([]uint32, sets*g.Ways),
+	}
+	for i := range l.tags {
+		l.tags[i] = -1
+	}
+	return l
+}
+
+// lookup probes for a line; on hit it refreshes LRU and returns the way
+// slot index, else -1.
+func (l *level) lookup(line int64) int {
+	set := int(line&l.mask) * l.ways
+	for w := 0; w < l.ways; w++ {
+		if l.tags[set+w] == line {
+			l.clock++
+			l.stamp[set+w] = l.clock
+			return set + w
+		}
+	}
+	return -1
+}
+
+// victim returns the slot of the LRU way in the line's set.
+func (l *level) victim(line int64) int {
+	set := int(line&l.mask) * l.ways
+	best := set
+	bestStamp := l.stamp[set]
+	for w := 1; w < l.ways; w++ {
+		if l.tags[set+w] == -1 {
+			return set + w
+		}
+		if l.stamp[set+w] < bestStamp {
+			bestStamp = l.stamp[set+w]
+			best = set + w
+		}
+	}
+	return best
+}
+
+// install places a line (possibly dirty), returning the evicted line and
+// whether it was dirty (evicted == -1 if the slot was empty).
+func (l *level) install(line int64, dirty bool) (evicted int64, evDirty bool) {
+	slot := l.victim(line)
+	evicted, evDirty = l.tags[slot], l.dirty[slot]
+	l.tags[slot] = line
+	l.dirty[slot] = dirty
+	l.clock++
+	l.stamp[slot] = l.clock
+	return evicted, evDirty
+}
+
+// Hierarchy is one core's cache hierarchy plus the memory controller
+// counters. It implements core.Backend.
+type Hierarchy struct {
+	l1, l2, l3 *level
+	c          Counts
+	spec       *machine.Spec
+
+	pfOn       bool
+	pfSlots    [pfSlotCount]int64 // last miss line per detected stream
+	pfNext     int
+	pfDist     int64
+	adjacentOn bool
+}
+
+const pfSlotCount = 16
+
+// New creates a hierarchy for the machine spec with prefetchers in their
+// default (spec) state.
+func New(spec *machine.Spec) *Hierarchy {
+	h := &Hierarchy{
+		l1:         newLevel(spec.L1),
+		l2:         newLevel(spec.L2),
+		l3:         newLevel(spec.L3Slice()),
+		spec:       spec,
+		pfOn:       spec.PF.StreamEnabled,
+		pfDist:     int64(spec.PF.StreamDistance),
+		adjacentOn: spec.PF.AdjacentEnabled,
+	}
+	for i := range h.pfSlots {
+		h.pfSlots[i] = -1
+	}
+	return h
+}
+
+// SetPrefetch enables or disables the hardware prefetcher models
+// (likwid-features analogue).
+func (h *Hierarchy) SetPrefetch(on bool) {
+	h.pfOn = on && h.spec.PF.StreamEnabled
+	h.adjacentOn = on && h.spec.PF.AdjacentEnabled
+}
+
+// PrefetchOn reports whether the stream prefetcher is active.
+func (h *Hierarchy) PrefetchOn() bool { return h.pfOn }
+
+// Counts returns a snapshot of all counters.
+func (h *Hierarchy) Counts() Counts { return h.c }
+
+// installThrough pushes a line into l3, l2 and l1 (dirty at L1 if dirty),
+// propagating dirty evictions down to memory.
+func (h *Hierarchy) installThrough(line int64, dirty bool) {
+	if ev, d := h.l3.install(line, false); d && ev >= 0 {
+		h.c.MemWriteLines++
+	}
+	h.installL2L1(line, dirty)
+}
+
+// installL2L1 installs into L2 and L1 only.
+func (h *Hierarchy) installL2L1(line int64, dirty bool) {
+	if ev, d := h.l2.install(line, false); d && ev >= 0 {
+		h.writebackToL3(ev)
+	}
+	if ev, d := h.l1.install(line, dirty); d && ev >= 0 {
+		h.writebackToL2(ev)
+	}
+}
+
+// writebackToL2 handles a dirty eviction from L1.
+func (h *Hierarchy) writebackToL2(line int64) {
+	if slot := h.l2.lookup(line); slot >= 0 {
+		h.l2.dirty[slot] = true
+		return
+	}
+	if ev, d := h.l2.install(line, true); d && ev >= 0 {
+		h.writebackToL3(ev)
+	}
+}
+
+// writebackToL3 handles a dirty eviction from L2.
+func (h *Hierarchy) writebackToL3(line int64) {
+	if slot := h.l3.lookup(line); slot >= 0 {
+		h.l3.dirty[slot] = true
+		return
+	}
+	if ev, d := h.l3.install(line, true); d && ev >= 0 {
+		h.c.MemWriteLines++
+	}
+}
+
+// memFetch reads a line from memory (counting) and runs prefetch logic.
+// Prefetching only follows demand-load streams: store (RFO) streams are
+// handled by the write-allocate-evasion engine, and prefetching them would
+// defeat ItoM claims (the hardware suppresses this likewise).
+func (h *Hierarchy) memFetch(line int64, allowPF bool) {
+	h.c.MemReadLines++
+	if !allowPF {
+		return
+	}
+	if h.adjacentOn {
+		buddy := line ^ 1
+		if h.l3.lookup(buddy) < 0 && h.l2.lookup(buddy) < 0 {
+			h.c.MemReadLines++
+			h.c.PFLines++
+			if ev, d := h.l3.install(buddy, false); d && ev >= 0 {
+				h.c.MemWriteLines++
+			}
+		}
+	}
+	if h.pfOn {
+		h.prefetch(line)
+	}
+}
+
+// prefetch implements a simple L2 streamer: a miss that is sequential to
+// a previous miss arms a stream and pulls the next pfDist lines into L3.
+func (h *Hierarchy) prefetch(line int64) {
+	armed := false
+	for i := range h.pfSlots {
+		if h.pfSlots[i] == line-1 || h.pfSlots[i] == line-2 {
+			h.pfSlots[i] = line
+			armed = true
+			break
+		}
+	}
+	if !armed {
+		h.pfSlots[h.pfNext] = line
+		h.pfNext = (h.pfNext + 1) % pfSlotCount
+		return
+	}
+	for d := int64(1); d <= h.pfDist; d++ {
+		l := line + d
+		if h.l3.lookup(l) >= 0 || h.l2.lookup(l) >= 0 || h.l1.lookup(l) >= 0 {
+			continue
+		}
+		h.c.MemReadLines++
+		h.c.PFLines++
+		if ev, dd := h.l3.install(l, false); dd && ev >= 0 {
+			h.c.MemWriteLines++
+		}
+	}
+}
+
+// access is the shared load/RFO path.
+func (h *Hierarchy) access(line int64, dirty, allowPF bool) {
+	if slot := h.l1.lookup(line); slot >= 0 {
+		h.c.L1Hits++
+		if dirty {
+			h.l1.dirty[slot] = true
+		}
+		return
+	}
+	if h.l2.lookup(line) >= 0 {
+		h.c.L2Hits++
+		h.installToL1(line, dirty)
+		return
+	}
+	if h.l3.lookup(line) >= 0 {
+		h.c.L3Hits++
+		h.installL2L1(line, dirty)
+		return
+	}
+	h.memFetch(line, allowPF)
+	h.installThrough(line, dirty)
+}
+
+// installToL1 installs a line into L1 only (it already sits in L2).
+func (h *Hierarchy) installToL1(line int64, dirty bool) {
+	if ev, d := h.l1.install(line, dirty); d && ev >= 0 {
+		h.writebackToL2(ev)
+	}
+}
+
+// Load implements core.Backend.
+func (h *Hierarchy) Load(line int64) {
+	h.c.Loads++
+	h.access(line, false, true)
+}
+
+// RFO implements core.Backend.
+func (h *Hierarchy) RFO(line int64) {
+	h.c.RFOs++
+	h.access(line, true, false)
+}
+
+// ClaimI2M implements core.Backend: the line is claimed dirty at L3
+// without a memory read (SpecI2M ItoM transaction).
+func (h *Hierarchy) ClaimI2M(line int64) {
+	h.c.ItoMLines++
+	// Drop stale private copies so the dirty state lives at L3.
+	if slot := h.l1.lookup(line); slot >= 0 {
+		h.l1.tags[slot] = -1
+		h.l1.dirty[slot] = false
+	}
+	if slot := h.l2.lookup(line); slot >= 0 {
+		h.l2.tags[slot] = -1
+		h.l2.dirty[slot] = false
+	}
+	if slot := h.l3.lookup(line); slot >= 0 {
+		h.l3.dirty[slot] = true
+		return
+	}
+	if ev, d := h.l3.install(line, true); d && ev >= 0 {
+		h.c.MemWriteLines++
+	}
+}
+
+// ClaimL2 implements core.Backend: the line is claimed dirty in the
+// private L2 without a memory read (A64FX cache-line zero). The write
+// reaches memory via the normal write-back path, and — unlike ItoM — the
+// data is immediately reusable from the private cache.
+func (h *Hierarchy) ClaimL2(line int64) {
+	h.c.ItoMLines++ // counted in the same evasion event class
+	if slot := h.l1.lookup(line); slot >= 0 {
+		h.l1.tags[slot] = -1
+		h.l1.dirty[slot] = false
+	}
+	if slot := h.l2.lookup(line); slot >= 0 {
+		h.l2.dirty[slot] = true
+		return
+	}
+	if ev, d := h.l2.install(line, true); d && ev >= 0 {
+		h.writebackToL3(ev)
+	}
+}
+
+// WriteStreamed implements core.Backend: ARM write-streaming mode sends
+// the detected store stream straight to memory.
+func (h *Hierarchy) WriteStreamed(line int64) {
+	h.c.WSLines++
+	h.c.MemWriteLines++
+}
+
+// WriteNT implements core.Backend: a direct (write-combined) memory write.
+func (h *Hierarchy) WriteNT(line int64) {
+	h.c.NTLines++
+	h.c.MemWriteLines++
+}
+
+// WriteNTReverted implements core.Backend: the NT store was demoted to a
+// regular write-allocate store (read + eventual write-back).
+func (h *Hierarchy) WriteNTReverted(line int64) {
+	h.c.NTReverted++
+	h.c.RFOs++
+	h.access(line, true, false)
+}
+
+// Flush writes back every dirty line and invalidates the hierarchy,
+// counting the write-backs. Use at region boundaries when residual dirty
+// state matters (small working sets).
+func (h *Hierarchy) Flush() {
+	for _, l := range []*level{h.l1, h.l2, h.l3} {
+		for i := range l.tags {
+			if l.tags[i] >= 0 && l.dirty[i] {
+				h.c.MemWriteLines++
+			}
+			l.tags[i] = -1
+			l.dirty[i] = false
+			l.stamp[i] = 0
+		}
+		l.clock = 0
+	}
+	for i := range h.pfSlots {
+		h.pfSlots[i] = -1
+	}
+}
+
+// Invalidate drops all cached state without counting write-backs.
+func (h *Hierarchy) Invalidate() {
+	for _, l := range []*level{h.l1, h.l2, h.l3} {
+		for i := range l.tags {
+			l.tags[i] = -1
+			l.dirty[i] = false
+			l.stamp[i] = 0
+		}
+		l.clock = 0
+	}
+	for i := range h.pfSlots {
+		h.pfSlots[i] = -1
+	}
+}
+
+// DirtyLines counts dirty lines currently cached (for tests).
+func (h *Hierarchy) DirtyLines() int {
+	n := 0
+	for _, l := range []*level{h.l1, h.l2, h.l3} {
+		for i := range l.tags {
+			if l.tags[i] >= 0 && l.dirty[i] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// String summarizes the hierarchy geometry.
+func (h *Hierarchy) String() string {
+	return fmt.Sprintf("L1 %d sets x%d | L2 %d sets x%d | L3slice %d sets x%d",
+		h.l1.sets, h.l1.ways, h.l2.sets, h.l2.ways, h.l3.sets, h.l3.ways)
+}

@@ -1,0 +1,116 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ECM implements the Execution-Cache-Memory model (Stengel et al., ICS'15
+// — the paper's reference [9] and the origin of the layer-condition
+// analysis). It predicts single-core runtime in cycles per cache line of
+// work (8 iterations for double-precision streams) as
+//
+//	T = max(T_OL, T_nOL + T_L1L2 + T_L2L3 + T_L3Mem)
+//
+// where the data-transfer terms follow from the loop's per-iteration
+// traffic at each memory-hierarchy level.
+type ECM struct {
+	// Core terms, cycles per cache line (8 iterations).
+	TOL  float64 // overlapping core time (arithmetic)
+	TnOL float64 // non-overlapping core time (load/store issue)
+	// Transfer terms, cycles per cache line.
+	TL1L2  float64
+	TL2L3  float64
+	TL3Mem float64
+}
+
+// ECMMachine holds the machine inputs of the ECM model. Values are
+// per-cycle transfer widths in bytes (full-duplex simplification).
+type ECMMachine struct {
+	FreqHz       float64
+	L1L2Bytes    float64 // bytes/cycle between L1 and L2 (64 on ICX)
+	L2L3Bytes    float64 // bytes/cycle between L2 and L3 (~32 on ICX)
+	MemBandwidth float64 // bytes/s single-core memory bandwidth
+	FlopsPerCy   float64 // DP flops per cycle
+	LoadsPerCy   float64 // L1 load ports (2 on ICX)
+	StoresPerCy  float64 // L1 store ports (1-2)
+}
+
+// ICXECMMachine returns ECM inputs for the Ice Lake SP testbed.
+func ICXECMMachine() ECMMachine {
+	return ECMMachine{
+		FreqHz:       2.4e9,
+		L1L2Bytes:    64,
+		L2L3Bytes:    32,
+		MemBandwidth: 10.5e9,
+		FlopsPerCy:   16,
+		LoadsPerCy:   2,
+		StoresPerCy:  2,
+	}
+}
+
+// NewECM builds the ECM decomposition of a loop on a machine. The loop's
+// traffic is taken from the analytic model: with fulfilled layer
+// conditions, RDLCF elements cross every hierarchy level per iteration;
+// written elements cross all levels once (plus the write-allocate when
+// not evaded).
+func NewECM(m LoopModel, mach ECMMachine, waEvaded bool) ECM {
+	const elemsPerCL = 8
+	// Per-cache-line element transfers across each inter-level link.
+	reads := float64(m.RDLCF)
+	writes := float64(m.WR)
+	wa := 0.0
+	if !waEvaded {
+		wa = float64(m.Evadable())
+	}
+	// Bytes per cache line of work across each link: reads come up,
+	// writes go down, write-allocates come up too.
+	linkBytes := (reads + writes + wa) * ElemBytes * elemsPerCL
+
+	var e ECM
+	e.TOL = float64(m.FlopsIt) * elemsPerCL / mach.FlopsPerCy
+	loads := reads + float64(m.RDWR)
+	e.TnOL = (loads*elemsPerCL/8)/mach.LoadsPerCy + (writes*elemsPerCL/8)/mach.StoresPerCy
+	e.TL1L2 = linkBytes / mach.L1L2Bytes
+	e.TL2L3 = linkBytes / mach.L2L3Bytes
+	e.TL3Mem = linkBytes / (mach.MemBandwidth / mach.FreqHz)
+	return e
+}
+
+// CyclesPerCL returns the ECM prediction in cycles per cache line.
+func (e ECM) CyclesPerCL() float64 {
+	return math.Max(e.TOL, e.TnOL+e.TL1L2+e.TL2L3+e.TL3Mem)
+}
+
+// ItersPerSecond converts the prediction to iteration throughput.
+func (e ECM) ItersPerSecond(freqHz float64) float64 {
+	cy := e.CyclesPerCL()
+	if cy == 0 {
+		return math.Inf(1)
+	}
+	return freqHz / cy * 8
+}
+
+// MemoryBound reports whether the memory term dominates.
+func (e ECM) MemoryBound() bool {
+	return e.TL3Mem > e.TOL && e.TL3Mem > e.TnOL
+}
+
+// String renders the model in the conventional ECM notation
+// {TOL ‖ TnOL | TL1L2 | TL2L3 | TL3Mem} cy/CL.
+func (e ECM) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{%.1f ‖ %.1f | %.1f | %.1f | %.1f} cy/CL = %.1f cy/CL",
+		e.TOL, e.TnOL, e.TL1L2, e.TL2L3, e.TL3Mem, e.CyclesPerCL())
+	return b.String()
+}
+
+// ECMTable builds the ECM decomposition for all Table I loops.
+func ECMTable(mach ECMMachine, waEvaded bool) map[string]ECM {
+	out := make(map[string]ECM, len(Table1))
+	for _, r := range Table1 {
+		out[r.Name] = NewECM(r.LoopModel, mach, waEvaded)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestECMAm04(t *testing.T) {
+	row, _ := Table1ByName("am04")
+	mach := ICXECMMachine()
+	e := NewECM(row.LoopModel, mach, false)
+	if !e.MemoryBound() {
+		t.Fatalf("am04 must be memory bound: %s", e)
+	}
+	// With WAs: 3 elements/iteration cross the memory link = 24 B/it =
+	// 192 B/CL; at 10.5 GB/s and 2.4 GHz that is 192/(10.5/2.4) = ~43.9 cy/CL.
+	if e.TL3Mem < 40 || e.TL3Mem > 48 {
+		t.Errorf("am04 TL3Mem = %.1f cy/CL, want ~44", e.TL3Mem)
+	}
+	// Evading the WA removes a third of the memory term.
+	ev := NewECM(row.LoopModel, mach, true)
+	ratio := ev.TL3Mem / e.TL3Mem
+	if ratio < 0.60 || ratio > 0.72 {
+		t.Errorf("WA evasion memory-term ratio %.3f, want ~2/3", ratio)
+	}
+	if ev.CyclesPerCL() >= e.CyclesPerCL() {
+		t.Error("evasion must lower the ECM prediction")
+	}
+}
+
+func TestECMCoreBoundLoop(t *testing.T) {
+	// A compute-heavy loop with tiny traffic is core bound.
+	m := LoopModel{Name: "flops", RDLCF: 1, RDLCB: 1, WR: 0, FlopsIt: 200}
+	e := NewECM(m, ICXECMMachine(), true)
+	if e.MemoryBound() {
+		t.Errorf("200 flop/it loop must be core bound: %s", e)
+	}
+	if e.CyclesPerCL() != e.TOL {
+		t.Errorf("core-bound prediction should equal TOL")
+	}
+}
+
+func TestECMThroughputConversion(t *testing.T) {
+	row, _ := Table1ByName("am04")
+	e := NewECM(row.LoopModel, ICXECMMachine(), false)
+	its := e.ItersPerSecond(2.4e9)
+	// Roofline equivalent: 10.5 GB/s / 24 B/it = 437.5 M it/s.
+	if its < 300e6 || its > 500e6 {
+		t.Errorf("am04 throughput = %.0f Mit/s, want ~437", its/1e6)
+	}
+}
+
+func TestECMString(t *testing.T) {
+	row, _ := Table1ByName("pdv00")
+	s := NewECM(row.LoopModel, ICXECMMachine(), false).String()
+	if !strings.Contains(s, "cy/CL") || !strings.Contains(s, "|") {
+		t.Errorf("ECM notation malformed: %s", s)
+	}
+}
+
+func TestECMTableCoversAllLoops(t *testing.T) {
+	tbl := ECMTable(ICXECMMachine(), false)
+	if len(tbl) != 22 {
+		t.Fatalf("%d ECM rows", len(tbl))
+	}
+	for name, e := range tbl {
+		if e.CyclesPerCL() <= 0 {
+			t.Errorf("%s: non-positive prediction", name)
+		}
+		// All CloverLeaf hotspots are memory bound on ICX (the premise
+		// of the whole paper).
+		if !e.MemoryBound() {
+			t.Errorf("%s should be memory bound: %s", name, e)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"cloversim/internal/machine"
+	"cloversim/internal/trace"
+)
+
+// am04Loop builds the Listing 3 loop with a configurable row length.
+func am04Loop(rowElems int) *trace.Loop {
+	ar := trace.NewArena(true)
+	mf := ar.Alloc("mass_flux_x", 0, rowElems+2, 0, 63)
+	nf := ar.Alloc("node_flux", 0, rowElems+2, 0, 63)
+	return &trace.Loop{
+		Name: "am04",
+		Reads: []trace.Access{
+			{A: mf, DJ: 0, DK: -1}, {A: mf, DJ: 0, DK: 0},
+			{A: mf, DJ: 1, DK: -1}, {A: mf, DJ: 1, DK: 0},
+		},
+		Writes:     []trace.Write{{A: nf}},
+		FlopsPerIt: 4,
+	}
+}
+
+// TestAM04LayerConditionTiny reproduces the paper's Eq. 2 argument: with
+// M = 15360 the LC needs two rows of mass_flux_x (~492 kB with the
+// safety factor including the write stream's row) and is satisfied by
+// the aggregate per-core L2+L3 cache.
+func TestAM04LayerConditionTiny(t *testing.T) {
+	a := AnalyzeLC(am04Loop(15360), 15360, machine.ICX8360Y())
+	if a.RowsNeeded != 2 {
+		t.Errorf("am04 needs %d rows, want 2 (rows k-1 and k)", a.RowsNeeded)
+	}
+	if !a.Holds() {
+		t.Fatalf("Tiny-set LC must hold: %s", a)
+	}
+	if a.Level == 1 {
+		t.Errorf("full Tiny rows cannot fit L1: %s", a)
+	}
+	if a.BytesPerItLCF != 16 || a.BytesPerItLCB != 24 {
+		t.Errorf("am04 balances %d/%d, want 16/24", a.BytesPerItLCF, a.BytesPerItLCB)
+	}
+}
+
+// TestLCBreaksForHugeRows: rows beyond the aggregate cache break the LC
+// and the analysis suggests a valid block size.
+func TestLCBreaksForHugeRows(t *testing.T) {
+	huge := 1 << 21 // 2M elements/row: 3 rows x 16MB >> 2.8MB
+	a := AnalyzeLC(am04Loop(huge), huge, machine.ICX8360Y())
+	if a.Holds() {
+		t.Fatalf("LC should break: %s", a)
+	}
+	if !a.BlockingNeeded() || a.MaxBlock <= 0 {
+		t.Fatalf("blocking advice missing: %s", a)
+	}
+	// The suggested block must itself satisfy the LC.
+	b := AnalyzeLC(am04Loop(a.MaxBlock), a.MaxBlock, machine.ICX8360Y())
+	if !b.Holds() {
+		t.Errorf("suggested block %d still breaks the LC", a.MaxBlock)
+	}
+	if !strings.Contains(a.String(), "block") {
+		t.Errorf("report should mention blocking: %s", a)
+	}
+}
+
+// TestLCSweepPrimesDontBreak reproduces the paper's Sec. IV-C argument:
+// for the Tiny grid no rank count between 1 and 72 breaks the am04 LC —
+// so broken LCs cannot explain the prime-number effect.
+func TestLCSweepPrimesDontBreak(t *testing.T) {
+	dims := map[int]int{}
+	for n := 1; n <= 72; n++ {
+		dims[n] = 15360 // prime counts keep the full row length (1D cut)
+	}
+	broken := LCSweep(am04Loop(15360), machine.ICX8360Y(), dims)
+	if len(broken) != 0 {
+		t.Errorf("LC broken for rank counts %v — contradicts the paper", broken)
+	}
+}
+
+func TestLCReportString(t *testing.T) {
+	a := AnalyzeLC(am04Loop(1920), 1920, machine.ICX8360Y())
+	s := a.String()
+	if !strings.Contains(s, "LC holds") || !strings.Contains(s, "byte/it") {
+		t.Errorf("report: %s", s)
+	}
+}

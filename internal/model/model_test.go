@@ -1,0 +1,207 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestTable1DerivedColumns checks the four byte/it columns of the paper's
+// Table I against the LoopModel formulas for all 22 loops. These are the
+// paper's exact published numbers.
+func TestTable1DerivedColumns(t *testing.T) {
+	want := map[string][4]int{ // min, LCF+WA, LCB, max
+		"am00":  {40, 56, 48, 64},
+		"am01":  {40, 56, 48, 64},
+		"am02":  {32, 48, 40, 56},
+		"am03":  {32, 48, 32, 48},
+		"am04":  {16, 24, 24, 32},
+		"am05":  {40, 56, 56, 72},
+		"am06":  {32, 40, 32, 40},
+		"am07":  {40, 40, 40, 40},
+		"am08":  {16, 24, 24, 32},
+		"am09":  {40, 56, 64, 80},
+		"am10":  {32, 40, 48, 56},
+		"am11":  {40, 40, 48, 48},
+		"ac00":  {40, 56, 48, 64},
+		"ac01":  {32, 48, 32, 48},
+		"ac02":  {48, 64, 48, 64},
+		"ac03":  {64, 64, 64, 64},
+		"ac04":  {40, 56, 48, 64},
+		"ac05":  {32, 48, 40, 56},
+		"ac06":  {48, 64, 80, 96},
+		"ac07":  {64, 64, 88, 88},
+		"pdv00": {88, 104, 112, 128},
+		"pdv01": {104, 120, 144, 160},
+	}
+	if len(Table1) != 22 {
+		t.Fatalf("Table1 has %d rows, want 22", len(Table1))
+	}
+	for _, r := range Table1 {
+		w, ok := want[r.Name]
+		if !ok {
+			t.Fatalf("unexpected loop %s", r.Name)
+		}
+		got := [4]int{r.BytesMin(), r.BytesLCFWA(), r.BytesLCB(), r.BytesMax()}
+		if got != w {
+			t.Errorf("%s: byte/it columns = %v, paper says %v", r.Name, got, w)
+		}
+	}
+}
+
+// TestTable1MeasuredNearLCFWA verifies the paper's observation that the
+// measured single-core balance matches the fulfilled-LC + write-allocate
+// prediction within a few percent for every loop.
+func TestTable1MeasuredNearLCFWA(t *testing.T) {
+	for _, r := range Table1 {
+		pred := float64(r.BytesLCFWA())
+		err := math.Abs(r.MeasuredSingleCore-pred) / pred
+		if err > 0.05 {
+			t.Errorf("%s: measured %.2f deviates %.1f%% from LCF+WA %.0f",
+				r.Name, r.MeasuredSingleCore, 100*err, pred)
+		}
+	}
+}
+
+func TestTable1ByName(t *testing.T) {
+	r, ok := Table1ByName("am04")
+	if !ok || r.WR != 1 || r.RDLCF != 1 {
+		t.Fatalf("am04 lookup failed: %+v ok=%v", r, ok)
+	}
+	if _, ok := Table1ByName("zz99"); ok {
+		t.Fatal("bogus loop name found")
+	}
+}
+
+func TestHotspotLoopNamesOrder(t *testing.T) {
+	names := HotspotLoopNames()
+	if len(names) != 22 || names[0] != "am00" || names[21] != "pdv01" {
+		t.Fatalf("unexpected loop name order: %v", names)
+	}
+}
+
+func TestEvadable(t *testing.T) {
+	m := LoopModel{WR: 2, RDWR: 2}
+	if m.Evadable() != 0 {
+		t.Errorf("update-only loop should have no evadable writes, got %d", m.Evadable())
+	}
+	m = LoopModel{WR: 2, RDWR: 0}
+	if m.Evadable() != 2 {
+		t.Errorf("want 2 evadable writes, got %d", m.Evadable())
+	}
+}
+
+// TestRefinedPrediction checks the Fig. 7 model: factor 1.2 leaves 20% of
+// the evadable WA traffic.
+func TestRefinedPrediction(t *testing.T) {
+	r, _ := Table1ByName("am04") // min 16, evadable 1
+	got := r.RefinedPrediction(1.2, true)
+	if math.Abs(got-17.6) > 1e-9 {
+		t.Errorf("am04 refined prediction = %g, want 17.6", got)
+	}
+	// Ineligible loops keep the full write-allocate.
+	got = r.RefinedPrediction(1.2, false)
+	if got != float64(r.BytesLCFWA()) {
+		t.Errorf("ineligible prediction = %g, want %d", got, r.BytesLCFWA())
+	}
+	// Class (iii) loops (no evadable writes) are unaffected by the factor.
+	r3, _ := Table1ByName("am07")
+	if r3.RefinedPrediction(1.2, true) != float64(r3.BytesMin()) {
+		t.Errorf("am07 should be factor-invariant")
+	}
+}
+
+func TestNTPrediction(t *testing.T) {
+	r, _ := Table1ByName("am04")
+	// Perfect NT stores: min balance.
+	if got := r.NTPrediction(1.2, 0, true); got != 16 {
+		t.Errorf("am04 NT prediction with no reverts = %g, want 16", got)
+	}
+	// 16.5% reverts add 1.32 bytes.
+	if got := r.NTPrediction(1.2, 0.165, true); math.Abs(got-17.32) > 1e-9 {
+		t.Errorf("am04 NT prediction = %g, want 17.32", got)
+	}
+	// Two evadable streams: one NT, one SpecI2M.
+	r2, _ := Table1ByName("am00") // min 40, evadable 2
+	want := 40 + 0.165*8 + 0.2*8
+	if got := r2.NTPrediction(1.2, 0.165, true); math.Abs(got-want) > 1e-9 {
+		t.Errorf("am00 NT prediction = %g, want %g", got, want)
+	}
+}
+
+func TestLayerCondition(t *testing.T) {
+	// Paper Eq. 2: two rows of 15360 doubles need C > 492 kB.
+	c := LayerCondition(2, 15360)
+	if c != 2*2*15360*8 {
+		t.Fatalf("LayerCondition = %d", c)
+	}
+	if c < 490_000 || c > 495_000 {
+		t.Errorf("paper's 492 kB check failed: %d", c)
+	}
+	if !LayerConditionHolds(2, 15360, 1<<20) {
+		t.Error("1 MiB cache should satisfy the Tiny-set LC")
+	}
+	if LayerConditionHolds(2, 15360, 400_000) {
+		t.Error("400 kB cache should break the Tiny-set LC")
+	}
+}
+
+func TestRoofline(t *testing.T) {
+	// Memory bound: P = I*bs.
+	if got := Roofline(1e12, 0.5, 100e9); got != 50e9 {
+		t.Errorf("memory-bound roofline = %g", got)
+	}
+	// Core bound: P = Pmax.
+	if got := Roofline(1e10, 100, 100e9); got != 1e10 {
+		t.Errorf("core-bound roofline = %g", got)
+	}
+	if got := RooflineIts(90e9, 24); math.Abs(got-3.75e9) > 1 {
+		t.Errorf("iteration roofline = %g, want 3.75e9", got)
+	}
+	if !math.IsInf(RooflineIts(90e9, 0), 1) {
+		t.Error("zero balance should give infinite iteration rate")
+	}
+}
+
+func TestHaloReadOverhead(t *testing.T) {
+	// Paper: 8/(216+8) = 3.57% for 71 ranks.
+	got := HaloReadOverhead(216)
+	if math.Abs(got-0.0357) > 0.0005 {
+		t.Errorf("halo overhead for 216 = %g, want ~0.0357", got)
+	}
+	if HaloReadOverhead(1920) > got {
+		t.Error("longer inner dimension must have lower halo overhead")
+	}
+}
+
+func TestPrimeEffectReadPenalty(t *testing.T) {
+	// Short rows lose more evasion than long rows.
+	short := PrimeEffectReadPenalty(216, 5, 0.8)
+	long := PrimeEffectReadPenalty(1920, 5, 0.8)
+	if short <= long {
+		t.Errorf("short-row penalty %g should exceed long-row %g", short, long)
+	}
+	// Rows shorter than the warm-up lose everything.
+	if got := PrimeEffectReadPenalty(16, 5, 0.8); got != 0.8 {
+		t.Errorf("tiny rows should lose all evasion, got %g", got)
+	}
+}
+
+// Property: for any counts, min <= LCF,WA <= max and min <= LCB <= max.
+func TestBalanceOrderingProperty(t *testing.T) {
+	f := func(rdLCF, extraLCB, wr, rdwr uint8) bool {
+		m := LoopModel{
+			RDLCF: int(rdLCF % 16),
+			RDLCB: int(rdLCF%16) + int(extraLCB%8),
+			WR:    int(wr%4) + 1,
+		}
+		m.RDWR = int(rdwr) % (m.WR + 1)
+		return m.BytesMin() <= m.BytesLCFWA() &&
+			m.BytesLCFWA() <= m.BytesMax() &&
+			m.BytesMin() <= m.BytesLCB() &&
+			m.BytesLCB() <= m.BytesMax()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package model
+
+// Table1Row is one row of the paper's Table I, including the measured
+// single-core code balance (byte/it_meas,1).
+type Table1Row struct {
+	LoopModel
+	MeasuredSingleCore float64 // paper's byte/it_meas,1 column
+}
+
+// Table1 is the paper's Table I verbatim: the performance-model input for
+// each of the 22 loops in the three hotspot functions (advec_mom "am",
+// advec_cell "ac", pdv). The derived byte/it columns follow from the
+// LoopModel methods and are unit-tested against the paper's numbers.
+var Table1 = []Table1Row{
+	{LoopModel{"am00", 5, 3, 4, 2, 0, 4}, 56.32},
+	{LoopModel{"am01", 5, 3, 4, 2, 0, 4}, 56.28},
+	{LoopModel{"am02", 4, 2, 3, 2, 0, 2}, 48.25},
+	{LoopModel{"am03", 4, 2, 2, 2, 0, 2}, 48.15},
+	{LoopModel{"am04", 2, 1, 2, 1, 0, 4}, 24.05},
+	{LoopModel{"am05", 5, 3, 5, 2, 0, 10}, 56.97},
+	{LoopModel{"am06", 4, 3, 3, 1, 0, 9}, 40.22},
+	{LoopModel{"am07", 4, 4, 4, 1, 1, 4}, 40.08},
+	{LoopModel{"am08", 2, 1, 2, 1, 0, 4}, 24.06},
+	{LoopModel{"am09", 5, 3, 6, 2, 0, 10}, 56.56},
+	{LoopModel{"am10", 4, 3, 5, 1, 0, 8}, 41.49},
+	{LoopModel{"am11", 4, 4, 5, 1, 1, 4}, 40.08},
+	{LoopModel{"ac00", 5, 3, 4, 2, 0, 6}, 56.33},
+	{LoopModel{"ac01", 4, 2, 2, 2, 0, 2}, 48.25},
+	{LoopModel{"ac02", 6, 4, 4, 2, 0, 17}, 64.70},
+	{LoopModel{"ac03", 6, 6, 6, 2, 2, 10}, 64.45},
+	{LoopModel{"ac04", 5, 3, 4, 2, 0, 6}, 56.29},
+	{LoopModel{"ac05", 4, 2, 3, 2, 0, 2}, 48.33},
+	{LoopModel{"ac06", 6, 4, 8, 2, 0, 17}, 66.24},
+	{LoopModel{"ac07", 6, 6, 9, 2, 2, 10}, 64.85},
+	{LoopModel{"pdv00", 11, 9, 12, 2, 0, 49}, 104.73},
+	{LoopModel{"pdv01", 13, 11, 16, 2, 0, 45}, 120.77},
+}
+
+// Table1ByName returns the Table I row for a loop name.
+func Table1ByName(name string) (Table1Row, bool) {
+	for _, r := range Table1 {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Table1Row{}, false
+}
+
+// HotspotLoopNames lists the 22 loop names in table order.
+func HotspotLoopNames() []string {
+	out := make([]string, len(Table1))
+	for i, r := range Table1 {
+		out[i] = r.Name
+	}
+	return out
+}

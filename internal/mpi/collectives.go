@@ -1,0 +1,73 @@
+package mpi
+
+// Additional collectives beyond CloverLeaf's core set, for completeness
+// of the substrate (the SPEC harness uses gather/broadcast during setup
+// and result collection).
+
+// bcast/gather reuse the mailbox fabric with reserved negative tags so
+// they never collide with user point-to-point traffic.
+const (
+	tagBcast  = -1000
+	tagGather = -2000
+)
+
+// Bcast distributes root's data to all ranks; every rank returns the
+// broadcast value. data is only read on the root.
+func (c *Comm) Bcast(data []float64, root int) []float64 {
+	if c.w.size == 1 {
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	if c.rank == root {
+		for r := 0; r < c.w.size; r++ {
+			if r == root {
+				continue
+			}
+			cp := make([]float64, len(data))
+			copy(cp, data)
+			c.w.mail[r][root].put(message{tag: tagBcast, data: cp})
+		}
+		c.Times.Isend += c.stages() * c.w.tm.ReductionLatency
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	msg := c.w.mail[c.rank][root].take(tagBcast)
+	c.Times.Waitall += c.stages() * c.w.tm.ReductionLatency
+	return msg.data
+}
+
+// Gather collects each rank's contribution on the root (rank order
+// preserved). Non-root ranks return nil.
+func (c *Comm) Gather(data []float64, root int) [][]float64 {
+	if c.rank != root {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		c.w.mail[root][c.rank].put(message{tag: tagGather, data: cp})
+		c.Times.Isend += 0.2e-6
+		return nil
+	}
+	out := make([][]float64, c.w.size)
+	out[root] = append([]float64(nil), data...)
+	for r := 0; r < c.w.size; r++ {
+		if r == root {
+			continue
+		}
+		msg := c.w.mail[root][r].take(tagGather)
+		out[r] = msg.data
+		c.Times.Waitall += c.w.tm.Latency + float64(len(msg.data)*8)/c.w.tm.Bandwidth
+	}
+	return out
+}
+
+// Sendrecv performs a simultaneous send to dst and receive from src with
+// the same tag — the halo-exchange primitive many MPI codes use instead
+// of Isend/Irecv/Waitall.
+func (c *Comm) Sendrecv(send []float64, dst int, recv []float64, src, tag int) error {
+	reqs := []*Request{
+		c.Irecv(recv, src, tag),
+		c.Isend(send, dst, tag),
+	}
+	return c.Waitall(reqs)
+}

@@ -1,0 +1,106 @@
+package mpi
+
+import "testing"
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(5, DefaultTimeModel())
+	got := make([][]float64, 5)
+	w.Run(func(c *Comm) {
+		var data []float64
+		if c.Rank() == 2 {
+			data = []float64{3.14, 2.71}
+		} else {
+			data = []float64{0, 0} // ignored off-root
+		}
+		got[c.Rank()] = c.Bcast(data, 2)
+	})
+	for r, v := range got {
+		if len(v) != 2 || v[0] != 3.14 || v[1] != 2.71 {
+			t.Fatalf("rank %d received %v", r, v)
+		}
+	}
+}
+
+func TestBcastSingleRank(t *testing.T) {
+	w := NewWorld(1, DefaultTimeModel())
+	w.Run(func(c *Comm) {
+		out := c.Bcast([]float64{7}, 0)
+		if out[0] != 7 {
+			t.Errorf("1-rank bcast = %v", out)
+		}
+	})
+}
+
+func TestBcastIsolation(t *testing.T) {
+	// The root's buffer must be copied, not aliased.
+	w := NewWorld(2, DefaultTimeModel())
+	var seen float64
+	w.Run(func(c *Comm) {
+		data := []float64{1}
+		out := c.Bcast(data, 0)
+		if c.Rank() == 0 {
+			out[0] = 99 // must not corrupt the other rank's copy
+		} else {
+			seen = out[0]
+		}
+	})
+	if seen != 1 {
+		t.Fatalf("bcast aliasing: rank 1 saw %g", seen)
+	}
+}
+
+func TestGather(t *testing.T) {
+	w := NewWorld(4, DefaultTimeModel())
+	var rows [][]float64
+	w.Run(func(c *Comm) {
+		out := c.Gather([]float64{float64(c.Rank()), float64(c.Rank() * 10)}, 1)
+		if c.Rank() == 1 {
+			rows = out
+		} else if out != nil {
+			t.Errorf("non-root rank %d got %v", c.Rank(), out)
+		}
+	})
+	if len(rows) != 4 {
+		t.Fatalf("gathered %d rows", len(rows))
+	}
+	for r, v := range rows {
+		if v[0] != float64(r) || v[1] != float64(r*10) {
+			t.Fatalf("row %d = %v", r, v)
+		}
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	// Shift values around a ring — the classic Sendrecv smoke test.
+	const n = 6
+	w := NewWorld(n, DefaultTimeModel())
+	got := make([]float64, n)
+	w.Run(func(c *Comm) {
+		dst := (c.Rank() + 1) % n
+		src := (c.Rank() + n - 1) % n
+		recv := make([]float64, 1)
+		if err := c.Sendrecv([]float64{float64(c.Rank())}, dst, recv, src, 9); err != nil {
+			t.Error(err)
+		}
+		got[c.Rank()] = recv[0]
+	})
+	for r := 0; r < n; r++ {
+		want := float64((r + n - 1) % n)
+		if got[r] != want {
+			t.Fatalf("ring shift: rank %d got %g, want %g", r, got[r], want)
+		}
+	}
+}
+
+func TestCollectivesChargeTime(t *testing.T) {
+	w := NewWorld(3, DefaultTimeModel())
+	comms := w.Run(func(c *Comm) {
+		c.Bcast([]float64{1}, 0)
+		c.Gather([]float64{1}, 0)
+	})
+	for _, c := range comms {
+		if c.Times.Isend == 0 && c.Times.Waitall == 0 {
+			t.Fatalf("rank %d charged no time for collectives", c.Rank())
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package profiler reproduces the gprofng-style runtime profile of
+// Listing 2: exclusive CPU seconds per function, aggregated over all
+// ranks, sorted by exclusive time.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entry is one profile row.
+type Entry struct {
+	Name    string
+	Seconds float64
+	Percent float64
+}
+
+// Profile is a sorted function profile.
+type Profile struct {
+	Total   float64
+	Entries []Entry
+}
+
+// FromKernelSeconds builds a profile from per-kernel aggregate CPU
+// seconds (e.g. cloverleaf.NodeModel.KernelSeconds scaled by steps).
+func FromKernelSeconds(kernels map[string]float64) *Profile {
+	p := &Profile{}
+	for name, s := range kernels {
+		p.Total += s
+		p.Entries = append(p.Entries, Entry{Name: name, Seconds: s})
+	}
+	sort.Slice(p.Entries, func(i, j int) bool {
+		if p.Entries[i].Seconds != p.Entries[j].Seconds {
+			return p.Entries[i].Seconds > p.Entries[j].Seconds
+		}
+		return p.Entries[i].Name < p.Entries[j].Name
+	})
+	for i := range p.Entries {
+		p.Entries[i].Percent = 100 * p.Entries[i].Seconds / p.Total
+	}
+	return p
+}
+
+// Top returns the n most expensive entries.
+func (p *Profile) Top(n int) []Entry {
+	if n > len(p.Entries) {
+		n = len(p.Entries)
+	}
+	return p.Entries[:n]
+}
+
+// Share returns the cumulative percentage of the named functions.
+func (p *Profile) Share(names ...string) float64 {
+	var s float64
+	for _, e := range p.Entries {
+		for _, n := range names {
+			if e.Name == n {
+				s += e.Percent
+			}
+		}
+	}
+	return s
+}
+
+// Format renders the profile in the gprofng text layout of Listing 2.
+func (p *Profile) Format(limit int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %8s\n", "Name", "Excl. Total", "CPU %")
+	fmt.Fprintf(&b, "%-24s %12s %8s\n", "", "sec.", "")
+	fmt.Fprintf(&b, "%-24s %12.3f %8.2f\n", "<Total>", p.Total, 100.0)
+	for _, e := range p.Top(limit) {
+		fmt.Fprintf(&b, "%-24s %12.3f %8.2f\n", e.Name, e.Seconds, e.Percent)
+	}
+	return b.String()
+}

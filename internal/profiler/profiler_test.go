@@ -1,0 +1,73 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Profile {
+	return FromKernelSeconds(map[string]float64{
+		"advec_mom_kernel":  12998.162,
+		"advec_cell_kernel": 7560.869,
+		"pdv_kernel":        4553.785,
+		"accelerate_kernel": 1953.466,
+		"ideal_gas_kernel":  1894.885,
+	})
+}
+
+func TestProfileSortedAndPercent(t *testing.T) {
+	p := sample()
+	if p.Entries[0].Name != "advec_mom_kernel" {
+		t.Fatalf("top entry = %s", p.Entries[0].Name)
+	}
+	var sum float64
+	for _, e := range p.Entries {
+		sum += e.Percent
+	}
+	if sum < 99.99 || sum > 100.01 {
+		t.Fatalf("percentages sum to %g", sum)
+	}
+	// Listing 2: advec_mom is 35.76% of the total there; here of the
+	// 5-kernel subset it must still dominate.
+	if p.Entries[0].Percent < 40 {
+		t.Errorf("advec_mom share %.1f%%", p.Entries[0].Percent)
+	}
+}
+
+func TestTop(t *testing.T) {
+	p := sample()
+	if got := len(p.Top(3)); got != 3 {
+		t.Fatalf("Top(3) returned %d", got)
+	}
+	if got := len(p.Top(100)); got != 5 {
+		t.Fatalf("Top(100) returned %d", got)
+	}
+}
+
+func TestShare(t *testing.T) {
+	p := sample()
+	s := p.Share("advec_mom_kernel", "advec_cell_kernel", "pdv_kernel")
+	if s < 80 || s > 95 {
+		t.Errorf("hotspot share = %.1f%%", s)
+	}
+	if p.Share("nope") != 0 {
+		t.Error("unknown kernel has a share")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := sample().Format(3)
+	if !strings.Contains(out, "<Total>") || !strings.Contains(out, "advec_mom_kernel") {
+		t.Fatalf("format missing rows:\n%s", out)
+	}
+	if strings.Contains(out, "ideal_gas_kernel") {
+		t.Fatal("limit not applied")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	p := FromKernelSeconds(map[string]float64{"b": 1, "a": 1, "c": 1})
+	if p.Entries[0].Name != "a" || p.Entries[2].Name != "c" {
+		t.Fatal("ties must sort by name")
+	}
+}

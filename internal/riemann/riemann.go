@@ -1,0 +1,160 @@
+// Package riemann provides an exact solver for the Riemann problem of
+// the 1D compressible Euler equations (Toro's classic iterative scheme).
+// It serves as ground truth for validating the CloverLeaf hydrodynamics
+// implementation: a Sod shock tube run through the full 2D solver must
+// reproduce the exact density/pressure/velocity profiles.
+package riemann
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is a primitive-variable gas state.
+type State struct {
+	Rho float64 // density
+	U   float64 // velocity
+	P   float64 // pressure
+}
+
+// Problem is a Riemann problem: two constant states meeting at x=0.
+type Problem struct {
+	Left, Right State
+	Gamma       float64
+}
+
+// Sod returns the canonical Sod shock-tube problem.
+func Sod() Problem {
+	return Problem{
+		Left:  State{Rho: 1.0, U: 0, P: 1.0},
+		Right: State{Rho: 0.125, U: 0, P: 0.1},
+		Gamma: 1.4,
+	}
+}
+
+// soundSpeed returns the speed of sound of a state.
+func (p Problem) soundSpeed(s State) float64 {
+	return math.Sqrt(p.Gamma * s.P / s.Rho)
+}
+
+// pressureFunction evaluates f_K(p) and its derivative for one side
+// (Toro Sec. 4.3): the velocity change across the wave as a function of
+// the star pressure.
+func (pr Problem) pressureFunction(p float64, s State) (f, df float64) {
+	g := pr.Gamma
+	a := pr.soundSpeed(s)
+	if p > s.P {
+		// Shock: Rankine-Hugoniot.
+		A := 2 / ((g + 1) * s.Rho)
+		B := (g - 1) / (g + 1) * s.P
+		f = (p - s.P) * math.Sqrt(A/(p+B))
+		df = math.Sqrt(A/(B+p)) * (1 - (p-s.P)/(2*(B+p)))
+		return
+	}
+	// Rarefaction: isentropic relation.
+	f = 2 * a / (g - 1) * (math.Pow(p/s.P, (g-1)/(2*g)) - 1)
+	df = 1 / (s.Rho * a) * math.Pow(p/s.P, -(g+1)/(2*g))
+	return
+}
+
+// Solution holds the star-region quantities of a solved problem.
+type Solution struct {
+	Problem
+	PStar float64 // star-region pressure
+	UStar float64 // star-region (contact) velocity
+}
+
+// Solve computes the star state with Newton-Raphson iteration.
+func (pr Problem) Solve() (Solution, error) {
+	g := pr.Gamma
+	l, r := pr.Left, pr.Right
+	if l.Rho <= 0 || r.Rho <= 0 || l.P <= 0 || r.P <= 0 || g <= 1 {
+		return Solution{}, fmt.Errorf("riemann: non-physical input %+v", pr)
+	}
+	// Initial guess: two-rarefaction approximation.
+	aL, aR := pr.soundSpeed(l), pr.soundSpeed(r)
+	z := (g - 1) / (2 * g)
+	p := math.Pow((aL+aR-0.5*(g-1)*(r.U-l.U))/(aL/math.Pow(l.P, z)+aR/math.Pow(r.P, z)), 1/z)
+	if p < 1e-10 {
+		p = 1e-10
+	}
+	for i := 0; i < 100; i++ {
+		fL, dL := pr.pressureFunction(p, l)
+		fR, dR := pr.pressureFunction(p, r)
+		change := (fL + fR + (r.U - l.U)) / (dL + dR)
+		p -= change
+		if p <= 0 {
+			p = 1e-12
+		}
+		if math.Abs(change) < 1e-12*p {
+			fL, _ = pr.pressureFunction(p, l)
+			fR, _ = pr.pressureFunction(p, r)
+			return Solution{Problem: pr, PStar: p, UStar: 0.5 * (l.U + r.U + fR - fL)}, nil
+		}
+	}
+	return Solution{}, fmt.Errorf("riemann: Newton iteration did not converge")
+}
+
+// Sample evaluates the self-similar solution at xi = x/t (the initial
+// discontinuity sits at xi = 0).
+func (s Solution) Sample(xi float64) State {
+	g := s.Gamma
+	if xi <= s.UStar {
+		return s.sampleSide(xi, s.Left, -1, g)
+	}
+	return s.sampleSide(xi, s.Right, +1, g)
+}
+
+// sampleSide handles one side of the contact. sign is -1 for left, +1
+// for right.
+func (s Solution) sampleSide(xi float64, k State, sign float64, g float64) State {
+	a := s.soundSpeed(k)
+	if s.PStar > k.P {
+		// Shock on this side.
+		sp := k.U + sign*a*math.Sqrt((g+1)/(2*g)*s.PStar/k.P+(g-1)/(2*g))
+		if sign*xi >= sign*sp {
+			return k // ahead of the shock
+		}
+		ratio := s.PStar / k.P
+		rho := k.Rho * (ratio + (g-1)/(g+1)) / ((g-1)/(g+1)*ratio + 1)
+		return State{Rho: rho, U: s.UStar, P: s.PStar}
+	}
+	// Rarefaction on this side.
+	aStar := a * math.Pow(s.PStar/k.P, (g-1)/(2*g))
+	head := k.U + sign*a
+	tail := s.UStar + sign*aStar
+	switch {
+	case sign*xi >= sign*head:
+		return k // ahead of the head
+	case sign*xi <= sign*tail:
+		rho := k.Rho * math.Pow(s.PStar/k.P, 1/g)
+		return State{Rho: rho, U: s.UStar, P: s.PStar}
+	default:
+		// Inside the fan.
+		u := 2 / (g + 1) * (-sign*a + (g-1)/2*k.U + xi)
+		af := 2 / (g + 1) * (a - sign*(g-1)/2*(k.U-xi))
+		rho := k.Rho * math.Pow(af/a, 2/(g-1))
+		p := k.P * math.Pow(af/a, 2*g/(g-1))
+		return State{Rho: rho, U: u, P: p}
+	}
+}
+
+// Profile samples the solution at time t on a uniform grid of n cells
+// spanning [x0, x1] with the initial discontinuity at xDiaphragm.
+func (s Solution) Profile(t, x0, x1, xDiaphragm float64, n int) []State {
+	out := make([]State, n)
+	dx := (x1 - x0) / float64(n)
+	for i := range out {
+		x := x0 + (float64(i)+0.5)*dx
+		if t <= 0 {
+			if x < xDiaphragm {
+				out[i] = s.Left
+			} else {
+				out[i] = s.Right
+			}
+			continue
+		}
+		out[i] = s.Sample((x - xDiaphragm) / t)
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package riemann
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSodStarState checks the textbook values of the Sod problem
+// (Toro, Table 4.1): p* = 0.30313, u* = 0.92745.
+func TestSodStarState(t *testing.T) {
+	s, err := Sod().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.PStar-0.30313) > 1e-4 {
+		t.Errorf("p* = %.5f, want 0.30313", s.PStar)
+	}
+	if math.Abs(s.UStar-0.92745) > 1e-4 {
+		t.Errorf("u* = %.5f, want 0.92745", s.UStar)
+	}
+}
+
+// TestSodRegions checks the density plateaus (Toro: rho*L = 0.42632,
+// rho*R = 0.26557) and the undisturbed far fields at t = 0.25.
+func TestSodRegions(t *testing.T) {
+	s, err := Sod().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		xi   float64
+		rho  float64
+		name string
+	}{
+		{-2.0, 1.0, "undisturbed left"},
+		{0.5, 0.42632, "left star (after rarefaction)"},
+		{1.2, 0.26557, "right star (post shock)"},
+		{2.5, 0.125, "undisturbed right"},
+	}
+	for _, c := range cases {
+		got := s.Sample(c.xi).Rho
+		if math.Abs(got-c.rho) > 1e-4 {
+			t.Errorf("%s: rho(%g) = %.5f, want %.5f", c.name, c.xi, got, c.rho)
+		}
+	}
+	// Shock speed: S = 1.75216 for Sod; just behind it the star state,
+	// just ahead the right state.
+	if got := s.Sample(1.74).Rho; math.Abs(got-0.26557) > 1e-4 {
+		t.Errorf("behind shock rho = %.5f", got)
+	}
+	if got := s.Sample(1.76).Rho; math.Abs(got-0.125) > 1e-6 {
+		t.Errorf("ahead of shock rho = %.5f", got)
+	}
+}
+
+// TestRarefactionFanContinuity: the solution inside the fan connects the
+// head and tail states continuously.
+func TestRarefactionFanContinuity(t *testing.T) {
+	s, _ := Sod().Solve()
+	// Sod's left rarefaction: head at -aL = -1.18322, tail at
+	// u* - a*L ~= -0.07027.
+	head := s.Sample(-1.1833)
+	if math.Abs(head.Rho-1.0) > 1e-3 {
+		t.Errorf("fan head rho = %g", head.Rho)
+	}
+	prev := head.Rho
+	for xi := -1.18; xi <= -0.08; xi += 0.01 {
+		cur := s.Sample(xi).Rho
+		if cur > prev+1e-12 {
+			t.Fatalf("density not monotone in the fan at xi=%g", xi)
+		}
+		prev = cur
+	}
+}
+
+// TestSymmetricProblem: mirrored states give mirrored solutions with a
+// stationary contact.
+func TestSymmetricProblem(t *testing.T) {
+	p := Problem{
+		Left:  State{Rho: 1, U: 0, P: 1},
+		Right: State{Rho: 1, U: 0, P: 1},
+		Gamma: 1.4,
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.UStar) > 1e-12 || math.Abs(s.PStar-1) > 1e-9 {
+		t.Errorf("trivial problem: p*=%g u*=%g", s.PStar, s.UStar)
+	}
+}
+
+// TestStrongShock: a pressure jump of 10^4 still converges.
+func TestStrongShock(t *testing.T) {
+	p := Problem{
+		Left:  State{Rho: 1, U: 0, P: 1000},
+		Right: State{Rho: 1, U: 0, P: 0.1},
+		Gamma: 1.4,
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PStar <= 0.1 || s.PStar >= 1000 {
+		t.Errorf("p* = %g out of bounds", s.PStar)
+	}
+	if s.UStar <= 0 {
+		t.Errorf("u* = %g, shock must move right", s.UStar)
+	}
+}
+
+func TestInvalidInput(t *testing.T) {
+	p := Problem{Left: State{Rho: -1, P: 1}, Right: State{Rho: 1, P: 1}, Gamma: 1.4}
+	if _, err := p.Solve(); err == nil {
+		t.Error("negative density accepted")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	s, _ := Sod().Solve()
+	prof := s.Profile(0.2, 0, 1, 0.5, 100)
+	if len(prof) != 100 {
+		t.Fatalf("%d cells", len(prof))
+	}
+	if math.Abs(prof[0].Rho-1.0) > 1e-9 || math.Abs(prof[99].Rho-0.125) > 1e-9 {
+		t.Errorf("far fields wrong: %g %g", prof[0].Rho, prof[99].Rho)
+	}
+	// t=0: pure initial condition.
+	ic := s.Profile(0, 0, 1, 0.5, 10)
+	if ic[0].Rho != 1 || ic[9].Rho != 0.125 {
+		t.Error("t=0 profile not the initial condition")
+	}
+}
+
+// Property: star pressure lies between the minimum and maximum of a
+// randomized two-state problem when both states are at rest (no vacuum).
+func TestStarPressureBoundsProperty(t *testing.T) {
+	f := func(pl, pr, rl, rr uint8) bool {
+		p := Problem{
+			Left:  State{Rho: 0.1 + float64(rl%50)/10, P: 0.1 + float64(pl%80)/10},
+			Right: State{Rho: 0.1 + float64(rr%50)/10, P: 0.1 + float64(pr%80)/10},
+			Gamma: 1.4,
+		}
+		s, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		lo := math.Min(p.Left.P, p.Right.P)
+		hi := math.Max(p.Left.P, p.Right.P)
+		// For states at rest, p* lies within [lo, hi].
+		return s.PStar >= lo-1e-9 && s.PStar <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,21 @@
+package trace
+
+import (
+	"cloversim/internal/counters"
+	"cloversim/internal/memsim"
+)
+
+// RunMarked replays a loop inside a LIKWID-style marker region: the
+// region accumulates the traffic delta, the call count, and the loop's
+// analytic work (flops, iterations) — the exact measurement flow of the
+// paper's instrumented CloverLeaf build.
+func (x *Executor) RunMarked(m *counters.Marker, l *Loop, b Bounds) (memsim.Counts, error) {
+	m.Start(l.Name)
+	c := x.Run(l, b)
+	if err := m.Stop(l.Name); err != nil {
+		return c, err
+	}
+	it := b.Iterations()
+	m.AddWork(l.Name, int64(l.FlopsPerIt)*it, it)
+	return c, nil
+}
