@@ -3,7 +3,6 @@ package cloversim
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"cloversim/internal/bench"
 	"cloversim/internal/cloverleaf"
@@ -11,7 +10,12 @@ import (
 	"cloversim/internal/decomp"
 	"cloversim/internal/model"
 	"cloversim/internal/profiler"
+	"cloversim/internal/sweep"
 )
+
+// experimentWorkers bounds the per-experiment scenario parallelism
+// (each scenario is itself a multi-goroutine traffic simulation).
+const experimentWorkers = 8
 
 // trafficOpts builds the common traffic-study options.
 func (o Options) trafficOpts(ranks int) (cloverleaf.TrafficOptions, error) {
@@ -115,38 +119,27 @@ func Figure2Scaling(o Options) ([]cloverleaf.ScalingPoint, *csvout.Table, error)
 
 	// Compute points in parallel (each is an independent model run).
 	pts := make([]cloverleaf.ScalingPoint, len(ranks))
-	errs := make([]error, len(ranks))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for i, n := range ranks {
-		wg.Add(1)
-		go func(i, n int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			oo := to
-			oo.Ranks = n
-			m, err := cloverleaf.ModelNode(oo)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			pts[i] = cloverleaf.ScalingPoint{
-				Ranks:          n,
-				StepSeconds:    m.StepSeconds,
-				MPISeconds:     m.MPIPerStep.Total(),
-				BandwidthGBs:   m.BandwidthBytes / 1e9,
-				Prime:          decomp.IsPrime(n),
-				InnerDimension: decomp.InnerDim(n, 15360, 15360),
-			}
-			pts[i].Speedup = m.TotalStepSeconds // patched below with serial baseline
-		}(i, n)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err = sweep.ForEach(experimentWorkers, len(ranks), func(i int) error {
+		n := ranks[i]
+		oo := to
+		oo.Ranks = n
+		m, err := cloverleaf.ModelNode(oo)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
+		pts[i] = cloverleaf.ScalingPoint{
+			Ranks:          n,
+			StepSeconds:    m.StepSeconds,
+			MPISeconds:     m.MPIPerStep.Total(),
+			BandwidthGBs:   m.BandwidthBytes / 1e9,
+			Prime:          decomp.IsPrime(n),
+			InnerDimension: decomp.InnerDim(n, 15360, 15360),
+		}
+		pts[i].Speedup = m.TotalStepSeconds // patched below with serial baseline
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	// Serial baseline: the run with ranks==1 must be part of the list.
 	serial := -1.0
@@ -195,34 +188,22 @@ func Figure3CodeBalance(o Options) ([]BalancePoint, *csvout.Table, error) {
 	ranks := o.rankList(spec.Cores())
 
 	pts := make([]BalancePoint, len(ranks))
-	errs := make([]error, len(ranks))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for i, n := range ranks {
-		wg.Add(1)
-		go func(i, n int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			oo := to
-			oo.Ranks = n
-			res, err := cloverleaf.RunTraffic(oo)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			bp := BalancePoint{Ranks: n, Balance: map[string]float64{}}
-			for name, lt := range res.Loops {
-				bp.Balance[name] = lt.BytesPerIt(res.InnerCells)
-			}
-			pts[i] = bp
-		}(i, n)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err = sweep.ForEach(experimentWorkers, len(ranks), func(i int) error {
+		oo := to
+		oo.Ranks = ranks[i]
+		res, err := cloverleaf.RunTraffic(oo)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
+		bp := BalancePoint{Ranks: ranks[i], Balance: map[string]float64{}}
+		for name, lt := range res.Loops {
+			bp.Balance[name] = lt.BytesPerIt(res.InnerCells)
+		}
+		pts[i] = bp
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	names := model.HotspotLoopNames()
 	header := append([]string{"ranks"}, names...)
@@ -305,40 +286,28 @@ func FigureStoreRatio(o Options) ([]StorePoint, *csvout.Table, error) {
 	}
 	cores := o.rankList(spec.Cores())
 	pts := make([]StorePoint, len(cores))
-	errs := make([]error, len(cores))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for i, n := range cores {
-		wg.Add(1)
-		go func(i, n int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p := StorePoint{Cores: n}
-			for s := 1; s <= 3; s++ {
-				r, err := bench.RunStore(bench.StoreOptions{
-					Machine: spec, Streams: s, Cores: n, BytesPerStream: 2 << 20, Seed: o.Seed})
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				p.Normal[s-1] = r.Ratio()
-				rn, err := bench.RunStore(bench.StoreOptions{
-					Machine: spec, Streams: s, NT: true, Cores: n, BytesPerStream: 2 << 20, Seed: o.Seed})
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				p.NT[s-1] = rn.Ratio()
+	err = sweep.ForEach(experimentWorkers, len(cores), func(i int) error {
+		n := cores[i]
+		p := StorePoint{Cores: n}
+		for s := 1; s <= 3; s++ {
+			r, err := bench.RunStore(bench.StoreOptions{
+				Machine: spec, Streams: s, Cores: n, BytesPerStream: 2 << 20, Seed: o.Seed})
+			if err != nil {
+				return err
 			}
-			pts[i] = p
-		}(i, n)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+			p.Normal[s-1] = r.Ratio()
+			rn, err := bench.RunStore(bench.StoreOptions{
+				Machine: spec, Streams: s, NT: true, Cores: n, BytesPerStream: 2 << 20, Seed: o.Seed})
+			if err != nil {
+				return err
+			}
+			p.NT[s-1] = rn.Ratio()
 		}
+		pts[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	t := csvout.New("cores", "st1", "st2", "st3", "st_nt1", "st_nt2", "st_nt3")
 	for _, p := range pts {
@@ -481,30 +450,18 @@ func FigureHaloCopy(o Options, withPFOff bool) ([]HaloPoint, *csvout.Table, erro
 		}
 	}
 	pts := make([]HaloPoint, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := bench.RunCopy(bench.CopyOptions{
-				Machine: spec, Cores: spec.Cores(), Elems: 1 << 18,
-				Inner: j.dim, Halo: j.halo, PFOff: j.pfoff, Seed: o.Seed})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			pts[i] = HaloPoint{Inner: j.dim, Halo: j.halo, PFOff: j.pfoff, RWRatio: r.RWRatio()}
-		}(i, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	if err := sweep.ForEach(experimentWorkers, len(jobs), func(i int) error {
+		j := jobs[i]
+		r, err := bench.RunCopy(bench.CopyOptions{
+			Machine: spec, Cores: spec.Cores(), Elems: 1 << 18,
+			Inner: j.dim, Halo: j.halo, PFOff: j.pfoff, Seed: o.Seed})
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
+		pts[i] = HaloPoint{Inner: j.dim, Halo: j.halo, PFOff: j.pfoff, RWRatio: r.RWRatio()}
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
 	sort.SliceStable(pts, func(a, b int) bool {
 		if pts[a].PFOff != pts[b].PFOff {

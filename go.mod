@@ -1,0 +1,3 @@
+module cloversim
+
+go 1.24

@@ -64,7 +64,10 @@ func ModelNode(o TrafficOptions) (*NodeModel, error) {
 	peakFlops := spec.FreqHz * spec.FlopsPerCycle
 	step := 0.0
 	kernels := map[string]float64{}
-	for _, l := range tr.Loops {
+	// Iterate in sorted loop order: the float sums must be bit-identical
+	// across runs for byte-stable sweep output.
+	for _, name := range tr.LoopNames() {
+		l := tr.Loops[name]
 		volRank := l.TotalBytes() / float64(n)
 		tMem := volRank / minShare
 		tCore := float64(l.FlopsPerIt) * l.Iters / float64(n) / peakFlops

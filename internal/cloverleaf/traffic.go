@@ -2,6 +2,7 @@ package cloverleaf
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"cloversim/internal/decomp"
@@ -94,10 +95,24 @@ type TrafficResult struct {
 // Loop returns a loop's aggregate (nil if absent).
 func (r *TrafficResult) Loop(name string) *LoopTraffic { return r.Loops[name] }
 
+// LoopNames returns the loop names in sorted order. Aggregations over
+// Loops must iterate in this order: float addition is not associative,
+// so map-order sums would differ in the low bits between runs and break
+// byte-stable campaign output.
+func (r *TrafficResult) LoopNames() []string {
+	names := make([]string, 0, len(r.Loops))
+	for name := range r.Loops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // BytesPerStep returns the node-aggregate memory volume of one hydro step.
 func (r *TrafficResult) BytesPerStep() float64 {
 	var v float64
-	for _, l := range r.Loops {
+	for _, name := range r.LoopNames() {
+		l := r.Loops[name]
 		v += l.TotalBytes() * l.CallsPerStep
 	}
 	return v
@@ -106,7 +121,8 @@ func (r *TrafficResult) BytesPerStep() float64 {
 // FlopsPerStep returns the node-aggregate flops of one hydro step.
 func (r *TrafficResult) FlopsPerStep() float64 {
 	var v float64
-	for _, l := range r.Loops {
+	for _, name := range r.LoopNames() {
+		l := r.Loops[name]
 		v += float64(l.FlopsPerIt) * l.Iters * l.CallsPerStep
 	}
 	return v
@@ -154,11 +170,12 @@ func RunTraffic(o TrafficOptions) (*TrafficResult, error) {
 	}
 
 	type groupResult struct {
-		weights float64
-		loops   []LoopInstance
-		counts  []memsim.Counts
-		scales  []float64
-		iters   []float64
+		firstRank int
+		weights   float64
+		loops     []LoopInstance
+		counts    []memsim.Counts
+		scales    []float64
+		iters     []float64
 	}
 	results := make([]groupResult, 0, len(groups))
 	var mu sync.Mutex
@@ -187,7 +204,7 @@ func RunTraffic(o TrafficOptions) (*TrafficResult, error) {
 			x.SetEnv(e)
 			x.E.Seed(o.Seed ^ uint64(g.firstRank+1)*0x9e3779b97f4a7c15)
 
-			gr := groupResult{weights: float64(g.count)}
+			gr := groupResult{firstRank: g.firstRank, weights: float64(g.count)}
 			gr.loops = loops
 			for i, li := range loops {
 				c := x.Run(li.Loop, li.Bounds)
@@ -205,6 +222,10 @@ func RunTraffic(o TrafficOptions) (*TrafficResult, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+
+	// Groups finish in scheduler order; accumulate in rank order so the
+	// float sums below are bit-identical across runs and worker counts.
+	sort.Slice(results, func(a, b int) bool { return results[a].firstRank < results[b].firstRank })
 
 	res := &TrafficResult{
 		Ranks:      o.Ranks,

@@ -21,6 +21,28 @@ func TestAllPresetsValidate(t *testing.T) {
 	}
 }
 
+func TestAllPresetsEnumerable(t *testing.T) {
+	specs := AllPresets()
+	names := Names()
+	if len(specs) != len(names) {
+		t.Fatalf("AllPresets returned %d specs, want %d", len(specs), len(names))
+	}
+	for i, s := range specs {
+		if s.Name != names[i] {
+			t.Errorf("preset %d is %q, want %q (Names order)", i, s.Name, names[i])
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", s.Name, err)
+		}
+	}
+	// Fresh specs each call: campaign-local mutations must not leak.
+	a, b := AllPresets(), AllPresets()
+	a[0].CoresPerSocket = 1
+	if b[0].CoresPerSocket == 1 || AllPresets()[0].CoresPerSocket == 1 {
+		t.Error("AllPresets must return fresh specs, not shared pointers")
+	}
+}
+
 func TestCacheGeom(t *testing.T) {
 	g := CacheGeom{SizeBytes: 48 * 1024, Ways: 12, LineBytes: 64}
 	if g.Sets() != 64 {

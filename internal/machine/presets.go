@@ -280,3 +280,19 @@ func Names() []string {
 	return []string{NameICX8360Y, NameICX8360YSNCOff, NameSPR8470, NameSPR8470SNCOn,
 		NameSPR8480, NameCLX8280, NameNeoverseN1, NameA64FX}
 }
+
+// AllPresets returns fresh specs for every preset, in Names order, so
+// campaign drivers can enumerate the whole machine park instead of
+// resolving presets one name at a time.
+func AllPresets() []*Spec {
+	names := Names()
+	out := make([]*Spec, len(names))
+	for i, name := range names {
+		s, ok := ByName(name)
+		if !ok {
+			panic("machine: preset " + name + " listed in Names but not resolvable")
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package memsim
+
+import (
+	"testing"
+
+	"cloversim/internal/machine"
+)
+
+// Benchmarks for the cache-hierarchy hot operations that dominate
+// every traffic study: the per-line Load/RFO/ClaimI2M/WriteNT paths.
+//
+//	go test -bench BenchmarkHierarchy ./internal/memsim
+
+const benchLines = 1 << 14 // 1 MiB of cache lines: spills L1/L2, busy L3
+
+func benchHierarchy() *Hierarchy { return New(machine.ICX8360Y()) }
+
+func BenchmarkHierarchyLoad(b *testing.B) {
+	h := benchHierarchy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Load(int64(i % benchLines))
+	}
+	if h.Counts().MemReadLines == 0 {
+		b.Fatal("no memory traffic simulated")
+	}
+}
+
+func BenchmarkHierarchyRFO(b *testing.B) {
+	h := benchHierarchy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.RFO(int64(i % benchLines))
+	}
+}
+
+func BenchmarkHierarchyClaimI2M(b *testing.B) {
+	h := benchHierarchy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ClaimI2M(int64(i % benchLines))
+	}
+}
+
+func BenchmarkHierarchyWriteNT(b *testing.B) {
+	h := benchHierarchy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.WriteNT(int64(i % benchLines))
+	}
+}
+
+// BenchmarkHierarchyStencilMix approximates a stencil loop's access
+// pattern: two streamed reads plus one written stream per iteration.
+func BenchmarkHierarchyStencilMix(b *testing.B) {
+	h := benchHierarchy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		line := int64(i % benchLines)
+		h.Load(line)
+		h.Load(line + benchLines)
+		h.RFO(line + 2*benchLines)
+	}
+}
+
+func BenchmarkHierarchyFlush(b *testing.B) {
+	h := benchHierarchy()
+	for i := int64(0); i < benchLines; i++ {
+		h.RFO(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Flush()
+	}
+}

@@ -1,0 +1,193 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cloversim/internal/asciiplot"
+	"cloversim/internal/csvout"
+)
+
+// Emitter renders a campaign. Emitters see results in grid order and
+// must be byte-stable: the same campaign always renders identically.
+type Emitter interface {
+	Emit(w io.Writer, c Campaign) error
+}
+
+// Table renders the campaign as a csvout table: scenario identity
+// columns followed by the union of metric columns (first-appearance
+// order); failed scenarios carry their error in the status column and
+// blank metric cells.
+func (c Campaign) Table() *csvout.Table {
+	metrics := c.MetricNames()
+	header := append([]string{"id", "machine", "mode", "ranks", "mesh", "threads", "status"}, metrics...)
+	t := csvout.New(header...)
+	for _, r := range c.Results {
+		status := "ok"
+		if r.Cached {
+			status = "cached"
+		}
+		if r.Err != nil {
+			status = "error: " + r.Err.Error()
+		}
+		row := []interface{}{r.ID, r.Scenario.Machine, r.Scenario.Mode.Name,
+			r.Scenario.Ranks, r.Scenario.Mesh.String(), r.Scenario.Threads, status}
+		for _, name := range metrics {
+			if v, ok := r.Metrics.Get(name); ok {
+				row = append(row, v)
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// CSVEmitter writes the campaign table as CSV.
+type CSVEmitter struct{}
+
+func (CSVEmitter) Emit(w io.Writer, c Campaign) error { return c.Table().WriteCSV(w) }
+
+// jsonMetric/jsonResult/jsonCampaign fix the field order (struct
+// marshaling is deterministic; metrics stay an ordered array).
+type jsonMetric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type jsonResult struct {
+	ID      string       `json:"id"`
+	Machine string       `json:"machine"`
+	Mode    string       `json:"mode"`
+	Ranks   int          `json:"ranks"`
+	Mesh    string       `json:"mesh"`
+	Threads int          `json:"threads"`
+	Seed    uint64       `json:"seed"`
+	Cached  bool         `json:"cached,omitempty"`
+	Error   string       `json:"error,omitempty"`
+	Metrics []jsonMetric `json:"metrics,omitempty"`
+}
+
+type jsonCampaign struct {
+	Scenarios int          `json:"scenarios"`
+	Failed    int          `json:"failed"`
+	Results   []jsonResult `json:"results"`
+}
+
+// JSONEmitter writes the campaign as deterministic JSON (fixed field
+// order, metrics as an ordered array).
+type JSONEmitter struct {
+	Indent bool
+}
+
+func (e JSONEmitter) Emit(w io.Writer, c Campaign) error {
+	out := jsonCampaign{
+		Scenarios: len(c.Results),
+		Failed:    len(c.Failed()),
+		Results:   make([]jsonResult, 0, len(c.Results)),
+	}
+	for _, r := range c.Results {
+		jr := jsonResult{
+			ID:      r.ID,
+			Machine: r.Scenario.Machine,
+			Mode:    r.Scenario.Mode.Name,
+			Ranks:   r.Scenario.Ranks,
+			Mesh:    r.Scenario.Mesh.String(),
+			Threads: r.Scenario.Threads,
+			Seed:    r.Scenario.Seed,
+			Cached:  r.Cached,
+		}
+		if r.Err != nil {
+			jr.Error = r.Err.Error()
+		}
+		for _, m := range r.Metrics {
+			jr.Metrics = append(jr.Metrics, jsonMetric{m.Name, m.Value})
+		}
+		out.Results = append(out.Results, jr)
+	}
+	enc := json.NewEncoder(w)
+	if e.Indent {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(out)
+}
+
+// SummaryEmitter renders a terminal summary: completion counts plus an
+// ASCII chart of one metric, one series per evasion mode, x = scenario
+// index within the mode (grid order).
+type SummaryEmitter struct {
+	Metric string // default: first metric of the campaign
+	Width  int
+	Height int
+}
+
+func (e SummaryEmitter) Emit(w io.Writer, c Campaign) error {
+	ok, cached, failed := 0, 0, 0
+	for _, r := range c.Results {
+		switch {
+		case r.Err != nil:
+			failed++
+		case r.Cached:
+			cached++
+		default:
+			ok++
+		}
+	}
+	fmt.Fprintf(w, "campaign: %d scenarios (%d ok, %d cached, %d failed)\n",
+		len(c.Results), ok, cached, failed)
+	for _, r := range c.Failed() {
+		fmt.Fprintf(w, "  FAILED %s %s: %v\n", r.ID, r.Scenario.Label(), r.Err)
+	}
+
+	metric := e.Metric
+	if metric == "" {
+		names := c.MetricNames()
+		if len(names) == 0 {
+			return nil
+		}
+		metric = names[0]
+	}
+	var series []asciiplot.Series
+	idx := map[string]int{}
+	for _, r := range c.Results {
+		v, found := r.Metrics.Get(metric)
+		if !found {
+			continue
+		}
+		name := r.Scenario.Mode.Name
+		i, seen := idx[name]
+		if !seen {
+			i = len(series)
+			idx[name] = i
+			series = append(series, asciiplot.Series{Name: name})
+		}
+		s := &series[i]
+		s.X = append(s.X, float64(len(s.X)))
+		s.Y = append(s.Y, v)
+	}
+	if len(series) == 0 {
+		return nil
+	}
+	_, err := io.WriteString(w, asciiplot.Plot{
+		Title:  metric + " by mode (x = scenario index)",
+		XLabel: "scenario",
+		Width:  e.Width,
+		Height: e.Height,
+		Series: series,
+	}.Render())
+	return err
+}
+
+// ProgressLine formats one engine progress callback for terminal use.
+func ProgressLine(done, total int, r Result) string {
+	status := "ok"
+	switch {
+	case r.Err != nil:
+		status = "ERROR: " + r.Err.Error()
+	case r.Cached:
+		status = "cached"
+	}
+	return fmt.Sprintf("[%*d/%d] %s %-28s %s", len(fmt.Sprint(total)), done, total, r.ID, r.Scenario.Label(), status)
+}

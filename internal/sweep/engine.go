@@ -1,0 +1,261 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Metric is one named scalar result. Metrics are an ordered slice (not
+// a map) so emitter output is byte-stable.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Metrics is a scenario's ordered result set.
+type Metrics []Metric
+
+// Add appends a metric.
+func (m *Metrics) Add(name string, v float64) { *m = append(*m, Metric{name, v}) }
+
+// Get returns a metric by name.
+func (m Metrics) Get(name string) (float64, bool) {
+	for _, x := range m {
+		if x.Name == name {
+			return x.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Result is one scenario's outcome. Exactly one of Metrics/Err is
+// meaningful; Cached marks results served from the engine cache or
+// deduplicated within a campaign.
+type Result struct {
+	Scenario Scenario
+	ID       string
+	Metrics  Metrics
+	Err      error
+	Cached   bool
+}
+
+// Runner executes one scenario.
+type Runner func(Scenario) (Metrics, error)
+
+// Campaign is an executed grid: results in deterministic grid order.
+type Campaign struct {
+	Results []Result
+}
+
+// Failed returns the results that carry errors.
+func (c Campaign) Failed() []Result {
+	var out []Result
+	for _, r := range c.Results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Err aggregates per-scenario failures (nil when everything succeeded).
+// Scenario errors are isolated — a campaign always completes — so this
+// is a summary, not an abort signal.
+func (c Campaign) Err() error {
+	failed := c.Failed()
+	if len(failed) == 0 {
+		return nil
+	}
+	return fmt.Errorf("sweep: %d of %d scenarios failed; first: %s (%s): %w",
+		len(failed), len(c.Results), failed[0].Scenario.Label(), failed[0].ID, failed[0].Err)
+}
+
+// MetricNames returns the union of metric names in first-appearance
+// order across results (grid order), which is deterministic.
+func (c Campaign) MetricNames() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, r := range c.Results {
+		for _, m := range r.Metrics {
+			if !seen[m.Name] {
+				seen[m.Name] = true
+				names = append(names, m.Name)
+			}
+		}
+	}
+	return names
+}
+
+// Engine executes campaigns on a bounded worker pool with per-scenario
+// result caching. The zero value is usable; Workers defaults to
+// runtime.GOMAXPROCS(0).
+type Engine struct {
+	// Workers bounds concurrent scenario executions.
+	Workers int
+	// Progress, when set, is called once per finalized scenario (from
+	// worker goroutines, serialized by the engine, without holding the
+	// engine lock — calling back into the engine is safe). Completion
+	// order is nondeterministic; only emitter output is ordered.
+	Progress func(done, total int, r Result)
+
+	mu    sync.Mutex
+	cache map[string]Metrics // scenario ID -> successful metrics
+	done  int
+
+	progressMu sync.Mutex // serializes Progress callbacks
+}
+
+// NewEngine returns an engine with the given worker bound (<=0 means
+// GOMAXPROCS).
+func NewEngine(workers int) *Engine { return &Engine{Workers: workers} }
+
+// CacheSize reports how many scenario results the engine holds.
+func (e *Engine) CacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// Run expands the grid and executes it.
+func (e *Engine) Run(g Grid, run Runner) Campaign {
+	return e.RunScenarios(g.Expand(), run)
+}
+
+// RunScenarios executes an explicit scenario list. Scenarios run
+// concurrently (bounded by Workers) but the returned results are in
+// input order. A scenario whose config hash was already executed — in
+// this campaign or a previous one on the same engine — is served from
+// cache; a scenario that fails is reported in its Result without
+// aborting the rest.
+func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := len(scenarios)
+	results := make([]Result, total)
+	e.mu.Lock()
+	if e.cache == nil {
+		e.cache = map[string]Metrics{}
+	}
+	e.done = 0
+	// Partition: cache hits finalize immediately, the first occurrence
+	// of each novel ID executes, repeats copy from the first.
+	first := map[string]int{}
+	var exec, hits []int
+	for i, s := range scenarios {
+		id := s.ID()
+		results[i] = Result{Scenario: s, ID: id}
+		if _, dup := first[id]; dup {
+			continue // filled after the pool drains
+		}
+		first[id] = i
+		if m, hit := e.cache[id]; hit {
+			results[i].Metrics = m
+			results[i].Cached = true
+			hits = append(hits, i)
+			continue
+		}
+		exec = append(exec, i)
+	}
+	e.mu.Unlock()
+	for _, i := range hits {
+		e.progress(total, results[i])
+	}
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, i := range exec {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, err := runSafe(run, scenarios[i])
+			e.mu.Lock()
+			results[i].Metrics, results[i].Err = m, err
+			if err == nil {
+				// Errors are not cached: a retried campaign re-runs them.
+				e.cache[results[i].ID] = m
+			}
+			r := results[i]
+			e.mu.Unlock()
+			e.progress(total, r)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range scenarios {
+		j := first[results[i].ID]
+		if j == i {
+			continue
+		}
+		results[i].Metrics = results[j].Metrics
+		results[i].Err = results[j].Err
+		results[i].Cached = true
+		e.progress(total, results[i])
+	}
+	return Campaign{Results: results}
+}
+
+// progress finalizes one scenario's done count and fires the Progress
+// callback outside the engine lock (so callbacks may use the engine)
+// but serialized, so terminal output does not interleave.
+func (e *Engine) progress(total int, r Result) {
+	e.mu.Lock()
+	e.done++
+	done := e.done
+	cb := e.Progress
+	e.mu.Unlock()
+	if cb != nil {
+		e.progressMu.Lock()
+		cb(done, total, r)
+		e.progressMu.Unlock()
+	}
+}
+
+// runSafe isolates runner panics into per-scenario errors so one bad
+// scenario cannot kill the campaign.
+func runSafe(run Runner, s Scenario) (m Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("sweep: scenario %s (%s) panicked: %v", s.ID(), s.Label(), r)
+		}
+	}()
+	return run(s)
+}
+
+// ForEach runs fn(0..n-1) on a bounded worker pool and returns the
+// lowest-index error (deterministic regardless of completion order).
+// It is the shared replacement for the ad-hoc WaitGroup+semaphore
+// loops the experiment drivers used to carry.
+func ForEach(workers, n int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("sweep: task %d panicked: %v", i, r)
+				}
+			}()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

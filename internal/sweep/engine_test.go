@@ -1,0 +1,233 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// testGrid is a 12-scenario grid whose runner output depends only on
+// the scenario, so campaigns are comparable across worker counts.
+func testGrid() Grid {
+	return Grid{
+		Machines: []string{"m0", "m1", "m2"},
+		Modes:    []Mode{{Name: "a"}, {Name: "b", NTStores: true}},
+		Ranks:    []int{1, 2},
+		Seed:     42,
+	}
+}
+
+// echoRunner derives metrics purely from the scenario.
+func echoRunner(s Scenario) (Metrics, error) {
+	var m Metrics
+	m.Add("ranks", float64(s.Ranks))
+	m.Add("machlen", float64(len(s.Machine)))
+	if s.Mode.NTStores {
+		m.Add("nt", 1)
+	}
+	return m, nil
+}
+
+func TestResultsInGridOrder(t *testing.T) {
+	g := testGrid()
+	want := g.Expand()
+	for _, workers := range []int{1, 4, 16} {
+		c := NewEngine(workers).Run(g, echoRunner)
+		if len(c.Results) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(c.Results), len(want))
+		}
+		for i, r := range c.Results {
+			if r.Scenario != want[i] {
+				t.Errorf("workers=%d: result %d is %s, want %s",
+					workers, i, r.Scenario.Label(), want[i].Label())
+			}
+			if r.ID != want[i].ID() {
+				t.Errorf("workers=%d: result %d ID mismatch", workers, i)
+			}
+		}
+	}
+}
+
+func TestErrorIsolation(t *testing.T) {
+	g := testGrid()
+	boom := errors.New("boom")
+	c := NewEngine(4).Run(g, func(s Scenario) (Metrics, error) {
+		if s.Machine == "m1" && s.Ranks == 2 {
+			return nil, boom
+		}
+		return echoRunner(s)
+	})
+	failed := c.Failed()
+	if len(failed) != 2 { // m1 x {a,b} x ranks=2
+		t.Fatalf("%d failed scenarios, want 2", len(failed))
+	}
+	for _, r := range failed {
+		if !errors.Is(r.Err, boom) {
+			t.Errorf("failure %s carries %v, want boom", r.ID, r.Err)
+		}
+	}
+	// Everyone else still ran.
+	ok := 0
+	for _, r := range c.Results {
+		if r.Err == nil {
+			if _, found := r.Metrics.Get("ranks"); !found {
+				t.Errorf("successful scenario %s missing metrics", r.ID)
+			}
+			ok++
+		}
+	}
+	if ok != len(c.Results)-2 {
+		t.Errorf("%d ok scenarios, want %d", ok, len(c.Results)-2)
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "2 of 12") {
+		t.Errorf("campaign error %v should summarize 2 of 12 failures", err)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	g := Grid{Machines: []string{"ok", "bad"}}
+	c := NewEngine(2).Run(g, func(s Scenario) (Metrics, error) {
+		if s.Machine == "bad" {
+			panic("kaboom")
+		}
+		return echoRunner(s)
+	})
+	if c.Results[0].Err != nil {
+		t.Errorf("healthy scenario failed: %v", c.Results[0].Err)
+	}
+	if err := c.Results[1].Err; err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("panic not isolated into error, got %v", err)
+	}
+}
+
+func TestCacheHitsViaRunCounter(t *testing.T) {
+	g := testGrid()
+	var runs atomic.Int64
+	counting := func(s Scenario) (Metrics, error) {
+		runs.Add(1)
+		return echoRunner(s)
+	}
+	e := NewEngine(4)
+	c1 := e.Run(g, counting)
+	if got := runs.Load(); got != 12 {
+		t.Fatalf("first campaign executed %d scenarios, want 12", got)
+	}
+	if e.CacheSize() != 12 {
+		t.Fatalf("cache holds %d results, want 12", e.CacheSize())
+	}
+	// Same grid again: every scenario hash hits the cache.
+	c2 := e.Run(g, counting)
+	if got := runs.Load(); got != 12 {
+		t.Errorf("second campaign re-executed scenarios: counter %d, want 12", got)
+	}
+	for i, r := range c2.Results {
+		if !r.Cached {
+			t.Errorf("second-campaign result %d not served from cache", i)
+		}
+		if fmt.Sprint(r.Metrics) != fmt.Sprint(c1.Results[i].Metrics) {
+			t.Errorf("cached metrics differ at %d", i)
+		}
+	}
+	// A fresh scenario still executes.
+	e.Run(Grid{Machines: []string{"new"}}, counting)
+	if got := runs.Load(); got != 13 {
+		t.Errorf("novel scenario should execute once, counter %d, want 13", got)
+	}
+}
+
+func TestDuplicateScenariosDedupWithinCampaign(t *testing.T) {
+	s := Scenario{Machine: "m", Ranks: 4}
+	var runs atomic.Int64
+	c := NewEngine(4).RunScenarios([]Scenario{s, s, s}, func(Scenario) (Metrics, error) {
+		runs.Add(1)
+		var m Metrics
+		m.Add("v", 1)
+		return m, nil
+	})
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("duplicate hash executed %d times, want 1", got)
+	}
+	if c.Results[0].Cached {
+		t.Error("first occurrence should be a real execution")
+	}
+	for i := 1; i < 3; i++ {
+		if !c.Results[i].Cached {
+			t.Errorf("duplicate %d not marked cached", i)
+		}
+		if v, found := c.Results[i].Metrics.Get("v"); !found || v != 1 {
+			t.Errorf("duplicate %d missing copied metrics", i)
+		}
+	}
+}
+
+func TestFailedScenariosAreNotCached(t *testing.T) {
+	g := Grid{Machines: []string{"flaky"}}
+	var runs atomic.Int64
+	runner := func(Scenario) (Metrics, error) {
+		if runs.Add(1) == 1 {
+			return nil, errors.New("transient")
+		}
+		return Metrics{{"v", 2}}, nil
+	}
+	e := NewEngine(1)
+	if err := e.Run(g, runner).Err(); err == nil {
+		t.Fatal("first campaign should fail")
+	}
+	c := e.Run(g, runner) // retry re-executes instead of caching the error
+	if err := c.Err(); err != nil {
+		t.Fatalf("retry did not re-execute: %v", err)
+	}
+	if runs.Load() != 2 {
+		t.Errorf("runner ran %d times, want 2", runs.Load())
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	g := testGrid()
+	var calls atomic.Int64
+	e := NewEngine(4)
+	e.Progress = func(done, total int, r Result) {
+		calls.Add(1)
+		if total != 12 || done < 1 || done > 12 {
+			t.Errorf("bad progress counters done=%d total=%d", done, total)
+		}
+		// Callbacks run without the engine lock: using the engine from
+		// inside Progress must not deadlock.
+		_ = e.CacheSize()
+	}
+	e.Run(g, echoRunner)
+	if calls.Load() != 12 {
+		t.Errorf("progress fired %d times, want 12", calls.Load())
+	}
+}
+
+func TestForEach(t *testing.T) {
+	out := make([]int, 100)
+	if err := ForEach(7, len(out), func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+	// Lowest-index error wins deterministically.
+	err := ForEach(7, 10, func(i int) error {
+		if i >= 3 {
+			return fmt.Errorf("err%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "err3" {
+		t.Errorf("ForEach error = %v, want err3", err)
+	}
+	// Panics become errors.
+	if err := ForEach(2, 2, func(i int) error { panic("eek") }); err == nil {
+		t.Error("panic not surfaced")
+	}
+}

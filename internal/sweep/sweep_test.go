@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGridExpandOrderAndSize(t *testing.T) {
+	g := Grid{
+		Machines: []string{"icx", "clx"},
+		Modes:    []Mode{{Name: "baseline"}, {Name: "nt", NTStores: true}},
+		Ranks:    []int{1, 8},
+		Threads:  []int{4},
+		Seed:     7,
+	}
+	scs := g.Expand()
+	if len(scs) != g.Size() || len(scs) != 8 {
+		t.Fatalf("expanded %d scenarios, Size()=%d, want 8", len(scs), g.Size())
+	}
+	// Grid order: machine outermost, then mode, mesh, ranks, threads.
+	want := []string{
+		"icx/baseline/r1/t4", "icx/baseline/r8/t4",
+		"icx/nt/r1/t4", "icx/nt/r8/t4",
+		"clx/baseline/r1/t4", "clx/baseline/r8/t4",
+		"clx/nt/r1/t4", "clx/nt/r8/t4",
+	}
+	for i, s := range scs {
+		if s.Label() != want[i] {
+			t.Errorf("scenario %d = %s, want %s", i, s.Label(), want[i])
+		}
+		if s.Seed != 7 {
+			t.Errorf("scenario %d seed = %d, want campaign seed 7", i, s.Seed)
+		}
+	}
+}
+
+func TestGridEmptyAxesDefault(t *testing.T) {
+	g := Grid{Machines: []string{"icx"}}
+	scs := g.Expand()
+	if len(scs) != 1 {
+		t.Fatalf("minimal grid expanded to %d scenarios, want 1", len(scs))
+	}
+	s := scs[0]
+	if s.Ranks != 0 || s.Threads != 0 || s.Mesh != (Mesh{}) {
+		t.Errorf("empty axes should produce runner defaults, got %+v", s)
+	}
+	if s.Mesh.String() != "default" {
+		t.Errorf("zero mesh renders %q, want \"default\"", s.Mesh.String())
+	}
+}
+
+func TestScenarioIDStableAndDistinct(t *testing.T) {
+	a := Scenario{Machine: "icx", Mode: Mode{Name: "nt", NTStores: true}, Ranks: 8, Seed: 1}
+	b := a
+	if a.ID() != b.ID() {
+		t.Fatal("identical scenarios must hash identically")
+	}
+	if len(a.ID()) != 12 {
+		t.Fatalf("ID %q not 12 hex chars", a.ID())
+	}
+	// Every field must participate in the hash.
+	mutations := []Scenario{
+		{Machine: "clx", Mode: a.Mode, Ranks: 8, Seed: 1},
+		{Machine: "icx", Mode: Mode{Name: "nt"}, Ranks: 8, Seed: 1}, // NTStores flag differs
+		{Machine: "icx", Mode: a.Mode, Ranks: 9, Seed: 1},
+		{Machine: "icx", Mode: a.Mode, Ranks: 8, Seed: 2},
+		{Machine: "icx", Mode: a.Mode, Ranks: 8, Mesh: Mesh{100, 100}, Seed: 1},
+		{Machine: "icx", Mode: a.Mode, Ranks: 8, Threads: 3, Seed: 1},
+		{Machine: "icx", Mode: a.Mode, Ranks: 8, MaxRows: 5, Seed: 1},
+	}
+	for i, m := range mutations {
+		if m.ID() == a.ID() {
+			t.Errorf("mutation %d (%s) collides with base (%s)", i, m.Key(), a.Key())
+		}
+	}
+}
+
+func TestModeRoundTrip(t *testing.T) {
+	if len(AllModes()) < 4 {
+		t.Fatalf("want >=4 evasion modes, have %d", len(AllModes()))
+	}
+	for _, name := range ModeNames() {
+		m, ok := ModeByName(name)
+		if !ok || m.Name != name {
+			t.Errorf("mode %q does not round-trip", name)
+		}
+	}
+	if _, ok := ModeByName("bogus"); ok {
+		t.Error("bogus mode resolved")
+	}
+}
+
+func TestParseMesh(t *testing.T) {
+	m, err := ParseMesh("15360x7680")
+	if err != nil || m.X != 15360 || m.Y != 7680 {
+		t.Fatalf("ParseMesh = %v, %v", m, err)
+	}
+	if m.String() != "15360x7680" {
+		t.Errorf("String() = %q", m.String())
+	}
+	for _, bad := range []string{"", "x", "12x", "0x5", "-3x4"} {
+		if _, err := ParseMesh(bad); err == nil {
+			t.Errorf("ParseMesh(%q) should fail", bad)
+		}
+	}
+}
+
+func TestKeyContainsEveryAxis(t *testing.T) {
+	s := Scenario{Machine: "icx", Mode: Mode{Name: "nt-opt", NTStores: true, OptimizeLoops: true},
+		Ranks: 72, Mesh: Mesh{3840, 3840}, Threads: 36, MaxRows: 16, Seed: 0xbeef}
+	key := s.Key()
+	for _, frag := range []string{"machine=icx", "mode=nt-opt", "ranks=72", "mesh=3840x3840",
+		"threads=36", "maxrows=16", "seed=0xbeef"} {
+		if !strings.Contains(key, frag) {
+			t.Errorf("key %q missing %q", key, frag)
+		}
+	}
+}
