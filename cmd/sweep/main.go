@@ -1,12 +1,13 @@
 // Command sweep runs a whole-paper experiment campaign: a declarative
-// parameter grid (machine preset x evasion mode x ranks x mesh x
-// threads) executed in parallel on the sweep engine, with deterministic
-// CSV/JSON output and an ASCII summary chart.
+// parameter grid (machine preset x workload x evasion mode x ranks x
+// mesh x threads) executed in parallel on the sweep engine, with
+// deterministic CSV/JSON output and an ASCII summary chart.
 //
 // Usage:
 //
-//	sweep                                  # full campaign: all machines x all modes
+//	sweep                                  # full campaign: machines x workloads x modes
 //	sweep -machines icx,spr8480 -modes nt,baseline
+//	sweep -workloads cloverleaf,stream,jacobi,riemann
 //	sweep -ranks 18,36,72 -threads 1,18,36
 //	sweep -mesh 3840x3840,15360x15360 -out results/sweep
 //
@@ -27,21 +28,23 @@ import (
 	"cloversim"
 	"cloversim/internal/machine"
 	"cloversim/internal/sweep"
+	"cloversim/internal/workload"
 )
 
 func main() {
 	var (
-		machines = flag.String("machines", "all", "comma-separated machine presets, or all of "+strings.Join(machine.Names(), ","))
-		modes    = flag.String("modes", "all", "comma-separated evasion modes, or all of "+strings.Join(sweep.ModeNames(), ","))
-		ranks    = flag.String("ranks", "", "comma-separated rank counts (default: full node)")
-		threads  = flag.String("threads", "", "comma-separated microbenchmark core counts (default: full node)")
-		mesh     = flag.String("mesh", "", "comma-separated problem sizes WxH (default: 15360x15360)")
-		maxRows  = flag.Int("maxrows", 0, "y-extent truncation (0 = fast default 32, -1 = paper-faithful full extent)")
-		seed     = flag.Uint64("seed", 0, "deterministic PRNG seed (0 = default)")
-		workers  = flag.Int("workers", 0, "max concurrent scenarios (0 = GOMAXPROCS)")
-		out      = flag.String("out", "results/sweep", "output directory for campaign.csv and campaign.json")
-		plot     = flag.String("plot", "store_ratio", "metric for the ASCII summary chart (empty = first metric)")
-		quiet    = flag.Bool("q", false, "suppress per-scenario progress and the result table")
+		machines  = flag.String("machines", "all", "comma-separated machine presets, or all of "+strings.Join(machine.Names(), ","))
+		workloads = flag.String("workloads", "all", "comma-separated workloads, or all of "+strings.Join(workload.Names(), ","))
+		modes     = flag.String("modes", "all", "comma-separated evasion modes, or all of "+strings.Join(sweep.ModeNames(), ","))
+		ranks     = flag.String("ranks", "", "comma-separated rank counts (default: full node)")
+		threads   = flag.String("threads", "", "comma-separated microbenchmark core counts (default: full node)")
+		mesh      = flag.String("mesh", "", "comma-separated problem sizes WxH (default: 15360x15360)")
+		maxRows   = flag.Int("maxrows", 0, "y-extent truncation (0 = fast default 32, -1 = paper-faithful full extent)")
+		seed      = flag.Uint64("seed", 0, "deterministic PRNG seed (0 = default)")
+		workers   = flag.Int("workers", 0, "max concurrent scenarios (0 = GOMAXPROCS)")
+		out       = flag.String("out", "results/sweep", "output directory for campaign.csv and campaign.json")
+		plot      = flag.String("plot", "store_ratio", "metric for the ASCII summary chart (empty = first metric)")
+		quiet     = flag.Bool("q", false, "suppress per-scenario progress and the result table")
 	)
 	flag.Parse()
 
@@ -55,15 +58,26 @@ func main() {
 			}
 		}
 	}
+	if *workloads != "all" {
+		grid.Workloads = splitList(*workloads)
+		for _, w := range grid.Workloads {
+			if _, ok := workload.ByName(w); !ok {
+				fatal(fmt.Errorf("unknown workload %q (have %v)", w, workload.Names()))
+			}
+		}
+	}
 	if *modes != "all" {
-		grid.Modes = grid.Modes[:0]
+		// Fresh slice: grid.Modes aliases the shared sweep.AllModes
+		// backing array, which a reslice-append would corrupt.
+		var picked []sweep.Mode
 		for _, name := range splitList(*modes) {
 			m, ok := sweep.ModeByName(name)
 			if !ok {
 				fatal(fmt.Errorf("unknown mode %q (have %v)", name, sweep.ModeNames()))
 			}
-			grid.Modes = append(grid.Modes, m)
+			picked = append(picked, m)
 		}
+		grid.Modes = picked
 	}
 	var err error
 	if grid.Ranks, err = intList(*ranks); err != nil {
@@ -86,8 +100,8 @@ func main() {
 		if nw <= 0 {
 			nw = runtime.GOMAXPROCS(0)
 		}
-		fmt.Printf("sweep: %d scenarios (%d machines x %d modes), %d workers\n",
-			grid.Size(), len(grid.Machines), len(grid.Modes), nw)
+		fmt.Printf("sweep: %d scenarios (%d machines x %d workloads x %d modes), %d workers\n",
+			grid.Size(), len(grid.Machines), len(grid.Workloads), len(grid.Modes), nw)
 		eng.Progress = func(done, total int, r sweep.Result) {
 			fmt.Println(sweep.ProgressLine(done, total, r))
 		}

@@ -1,0 +1,99 @@
+package cloversim
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloversim/internal/machine"
+	"cloversim/internal/sweep"
+)
+
+// updateGolden regenerates the golden-campaign fixtures:
+//
+//	go test -run TestGoldenCampaign -update-golden .
+//
+// Review the diff before committing — a changed fixture means the
+// simulated physics changed.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_campaign.{csv,json}")
+
+// goldenGrid is the canonical regression campaign: 2 machines x 3
+// evasion modes x 2 workloads on a reduced mesh. Small enough to run in
+// every CI pass, broad enough that a change to the memsim hierarchy,
+// the store engine, the traffic generators, the time model or the
+// emitters shows up as a byte diff.
+func goldenGrid() sweep.Grid {
+	baseline, _ := sweep.ModeByName("baseline")
+	i2mOff, _ := sweep.ModeByName("speci2m-off")
+	nt, _ := sweep.ModeByName("nt")
+	return sweep.Grid{
+		Machines:  []string{machine.NameICX8360Y, machine.NameSPR8480},
+		Workloads: []string{"cloverleaf", "jacobi"},
+		Modes:     []sweep.Mode{baseline, i2mOff, nt},
+		Ranks:     []int{4},
+		Threads:   []int{8},
+		Meshes:    []sweep.Mesh{{X: 1536, Y: 1536}},
+		MaxRows:   8,
+		Seed:      0x5eed,
+	}
+}
+
+// runGolden executes the canonical campaign and renders both emitters.
+func runGolden(t *testing.T) (csv, json []byte) {
+	t.Helper()
+	c := sweep.NewEngine(0).Run(goldenGrid(), RunScenario)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var cb, jb bytes.Buffer
+	if err := (sweep.CSVEmitter{}).Emit(&cb, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := (sweep.JSONEmitter{Indent: true}).Emit(&jb, c); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes()
+}
+
+// TestGoldenCampaign re-runs the checked-in canonical campaign and
+// byte-compares its CSV and JSON output against testdata/ fixtures, so
+// performance work on the simulation hot paths cannot silently change
+// the physics. On a mismatch, inspect the diff; if the change is an
+// intended model change, regenerate with -update-golden.
+func TestGoldenCampaign(t *testing.T) {
+	csvPath := filepath.Join("testdata", "golden_campaign.csv")
+	jsonPath := filepath.Join("testdata", "golden_campaign.json")
+	csv, json := runGolden(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(csvPath, csv, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, json, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s and %s", csvPath, jsonPath)
+		return
+	}
+
+	wantCSV, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create the fixture)", err)
+	}
+	wantJSON, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv, wantCSV) {
+		t.Errorf("campaign CSV deviates from golden fixture %s.\nThe simulated physics changed — if intended, regenerate with -update-golden.\ngot:\n%s\nwant:\n%s",
+			csvPath, csv, wantCSV)
+	}
+	if !bytes.Equal(json, wantJSON) {
+		t.Errorf("campaign JSON deviates from golden fixture %s (run with -update-golden if the change is intended)", jsonPath)
+	}
+}

@@ -265,9 +265,8 @@ func RunCopy(o CopyOptions) (CopyResult, error) {
 				}
 				aAddr := aBase + pos*8
 				bAddr := bBase + pos*8
-				for line := bAddr >> 6; line <= (bAddr+n*8-1)>>6; line++ {
-					h.Load(line)
-				}
+				lo := bAddr >> 6
+				h.AccessRange(lo, (bAddr+n*8-1)>>6-lo+1, memsim.AccessLoad)
 				e.StoreRange(0, aAddr, n*8)
 				copied += n
 				pos += period

@@ -80,6 +80,36 @@ type Context struct {
 	PFOn bool
 }
 
+// RangeBackend is an optional Backend extension: a backend that can
+// replay a run of consecutive same-kind line operations in one batched
+// call (memsim.Hierarchy.AccessRange). The engine retires store lines
+// one at a time — the run detector and the per-line evasion dice demand
+// it — but the resulting backend operations come in long same-kind runs
+// (every line of a CLX row pays an RFO, every line of an NT row goes
+// out non-temporally), which the engine coalesces and hands over
+// batched, in original order, when the backend supports it.
+type RangeBackend interface {
+	RFORange(start, n int64)
+	ClaimI2MRange(start, n int64)
+	ClaimL2Range(start, n int64)
+	WriteStreamedRange(start, n int64)
+	WriteNTRange(start, n int64)
+	WriteNTRevertedRange(start, n int64)
+}
+
+// pendKind tags the operation kind of the engine's pending run.
+type pendKind uint8
+
+const (
+	pendNone pendKind = iota
+	pendRFO
+	pendClaimI2M
+	pendClaimL2
+	pendWS
+	pendNT
+	pendNTRev
+)
+
 // streamState tracks the open store line of one write stream.
 type streamState struct {
 	line   int64  // currently open (partially filled) line index, or -1
@@ -102,6 +132,7 @@ type Stats struct {
 // StoreEngine models one core's store path.
 type StoreEngine struct {
 	be      Backend
+	rb      RangeBackend // non-nil when be supports batched runs
 	spec    *machine.Spec
 	ctx     Context
 	eff     float64 // cached evasion efficiency for ctx
@@ -111,11 +142,69 @@ type StoreEngine struct {
 	rng     uint64
 	streams []streamState
 	stats   Stats
+	// pending run of same-kind consecutive-line backend operations,
+	// flushed on any kind/contiguity break and at call boundaries
+	// (StoreRange returns with nothing pending, so interleaved direct
+	// backend traffic from the caller stays ordered).
+	pendKind  pendKind
+	pendStart int64
+	pendN     int64
 }
 
 // NewStoreEngine creates a store engine over the backend for the machine.
 func NewStoreEngine(be Backend, spec *machine.Spec) *StoreEngine {
-	return &StoreEngine{be: be, spec: spec, rng: 0x9e3779b97f4a7c15}
+	rb, _ := be.(RangeBackend)
+	return &StoreEngine{be: be, rb: rb, spec: spec, rng: 0x9e3779b97f4a7c15}
+}
+
+// emit hands one backend line operation over: batched through the
+// pending run when the backend supports ranges, directly otherwise.
+func (e *StoreEngine) emit(kind pendKind, line int64) {
+	if e.rb == nil {
+		switch kind {
+		case pendRFO:
+			e.be.RFO(line)
+		case pendClaimI2M:
+			e.be.ClaimI2M(line)
+		case pendClaimL2:
+			e.be.ClaimL2(line)
+		case pendWS:
+			e.be.WriteStreamed(line)
+		case pendNT:
+			e.be.WriteNT(line)
+		case pendNTRev:
+			e.be.WriteNTReverted(line)
+		}
+		return
+	}
+	if kind == e.pendKind && line == e.pendStart+e.pendN {
+		e.pendN++
+		return
+	}
+	e.flushPending()
+	e.pendKind, e.pendStart, e.pendN = kind, line, 1
+}
+
+// flushPending replays the pending run on the batched backend path.
+func (e *StoreEngine) flushPending() {
+	if e.pendN == 0 {
+		return
+	}
+	switch e.pendKind {
+	case pendRFO:
+		e.rb.RFORange(e.pendStart, e.pendN)
+	case pendClaimI2M:
+		e.rb.ClaimI2MRange(e.pendStart, e.pendN)
+	case pendClaimL2:
+		e.rb.ClaimL2Range(e.pendStart, e.pendN)
+	case pendWS:
+		e.rb.WriteStreamedRange(e.pendStart, e.pendN)
+	case pendNT:
+		e.rb.WriteNTRange(e.pendStart, e.pendN)
+	case pendNTRev:
+		e.rb.WriteNTRevertedRange(e.pendStart, e.pendN)
+	}
+	e.pendKind, e.pendStart, e.pendN = pendNone, 0, 0
 }
 
 // Seed reseeds the engine's deterministic PRNG.
@@ -201,6 +290,7 @@ func (e *StoreEngine) StoreRange(stream int, addr, nBytes int64) {
 		e.storeBytes(s, line, headStart, hi)
 		line++
 		if line > endLine {
+			e.flushPending()
 			return
 		}
 		addr = line * LineBytes
@@ -220,6 +310,9 @@ func (e *StoreEngine) StoreRange(stream int, addr, nBytes int64) {
 			e.storeBytes(s, line, 0, tail)
 		}
 	}
+	// Return with nothing pending so backend traffic the caller issues
+	// directly (demand loads of the next row) stays globally ordered.
+	e.flushPending()
 }
 
 // storeBytes merges a byte range [lo,hi) into the stream's open line.
@@ -283,10 +376,10 @@ func (e *StoreEngine) retireFull(s *streamState) {
 	if s.nt {
 		if e.ntRev > 0 && e.rand() < e.ntRev {
 			e.stats.NTReverted++
-			e.be.WriteNTReverted(line)
+			e.emit(pendNTRev, line)
 		} else {
 			e.stats.NTLines++
-			e.be.WriteNT(line)
+			e.emit(pendNT, line)
 		}
 		s.runLen++ // NT streams keep their own run notion (harmless)
 		return
@@ -296,16 +389,16 @@ func (e *StoreEngine) retireFull(s *streamState) {
 		e.stats.Claimed++
 		switch e.spec.I2M.Mode {
 		case machine.EvasionWriteStream:
-			e.be.WriteStreamed(line)
+			e.emit(pendWS, line)
 		case machine.EvasionClaimZero:
-			e.be.ClaimL2(line)
+			e.emit(pendClaimL2, line)
 		default:
-			e.be.ClaimI2M(line)
+			e.emit(pendClaimI2M, line)
 		}
 		return
 	}
 	e.stats.RFOs++
-	e.be.RFO(line)
+	e.emit(pendRFO, line)
 }
 
 // retirePartial handles a line evicted from the store window while only
@@ -317,10 +410,10 @@ func (e *StoreEngine) retirePartial(s *streamState) {
 	if s.nt {
 		// Partial WC flush: masked write transactions, no ownership read.
 		e.stats.NTLines++
-		e.be.WriteNT(s.line)
+		e.emit(pendNT, s.line)
 	} else {
 		e.stats.RFOs++
-		e.be.RFO(s.line)
+		e.emit(pendRFO, s.line)
 	}
 	s.runLen = 0
 }
@@ -341,6 +434,7 @@ func (e *StoreEngine) CloseAll() {
 		s.last = -1
 		s.runLen = 0
 	}
+	e.flushPending()
 }
 
 // Validate sanity-checks the engine configuration.

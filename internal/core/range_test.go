@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"cloversim/internal/machine"
+	"cloversim/internal/memsim"
+)
+
+// plainBackend wraps a Hierarchy but hides its RangeBackend methods, so
+// a StoreEngine over it takes the per-line path.
+type plainBackend struct{ h *memsim.Hierarchy }
+
+func (p plainBackend) Load(line int64)            { p.h.Load(line) }
+func (p plainBackend) RFO(line int64)             { p.h.RFO(line) }
+func (p plainBackend) ClaimI2M(line int64)        { p.h.ClaimI2M(line) }
+func (p plainBackend) ClaimL2(line int64)         { p.h.ClaimL2(line) }
+func (p plainBackend) WriteStreamed(line int64)   { p.h.WriteStreamed(line) }
+func (p plainBackend) WriteNT(line int64)         { p.h.WriteNT(line) }
+func (p plainBackend) WriteNTReverted(line int64) { p.h.WriteNTReverted(line) }
+
+// storeWorkout drives one engine through the store shapes the traffic
+// generators emit: long aligned rows, misaligned partial heads/tails,
+// bridged halo gaps, NT streams, and mid-row interleaving across
+// streams, with a context switch partway.
+func storeWorkout(e *StoreEngine, ctx Context, nt bool) {
+	e.Seed(0xd1ce)
+	e.ConfigureStreams(3, []bool{nt, false, nt})
+	e.SetContext(ctx)
+	base := int64(1 << 22)
+	for row := int64(0); row < 40; row++ {
+		for s := 0; s < 3; s++ {
+			addr := base + int64(s)*(1<<20) + row*4096
+			// Misalign every third row and leave a bridged hole.
+			if row%3 == 1 {
+				addr += 24
+			}
+			e.StoreRange(s, addr, 1800)
+			e.StoreRange(s, addr+1984, 2100)
+		}
+	}
+	ctx2 := ctx
+	ctx2.Class = machine.ClassPureStore
+	e.SetContext(ctx2)
+	e.StoreRange(0, base+(1<<21)+8, 64*37+17)
+	e.CloseAll()
+}
+
+// TestEngineRangeBackendDifferential: a StoreEngine over the batched
+// RangeBackend path must produce bit-identical hierarchy Counts to the
+// same engine over the per-line Backend path — the pending-run
+// coalescing may only group calls, never reorder or drop them.
+func TestEngineRangeBackendDifferential(t *testing.T) {
+	for _, name := range machine.Names() {
+		spec, _ := machine.ByName(name)
+		for _, nt := range []bool{false, true} {
+			ctx := Context{
+				Pressure:      1,
+				NodeFraction:  1,
+				ActiveSockets: spec.Sockets,
+				Class:         machine.ClassStencil,
+				StoreStreams:  3,
+				Eligible:      true,
+				PFOn:          true,
+			}
+			hPlain := memsim.New(spec)
+			ePlain := NewStoreEngine(plainBackend{hPlain}, spec)
+			storeWorkout(ePlain, ctx, nt)
+
+			hRange := memsim.New(spec)
+			eRange := NewStoreEngine(hRange, spec)
+			if eRange.rb == nil {
+				t.Fatal("memsim.Hierarchy must implement RangeBackend")
+			}
+			storeWorkout(eRange, ctx, nt)
+
+			if ePlain.Stats() != eRange.Stats() {
+				t.Fatalf("%s nt=%t: engine stats diverge: %+v vs %+v",
+					name, nt, eRange.Stats(), ePlain.Stats())
+			}
+			if hPlain.Counts() != hRange.Counts() {
+				t.Fatalf("%s nt=%t: hierarchy counts diverge\nbatched:  %+v\nper-line: %+v",
+					name, nt, hRange.Counts(), hPlain.Counts())
+			}
+			hPlain.Flush()
+			hRange.Flush()
+			if hPlain.Counts() != hRange.Counts() {
+				t.Fatalf("%s nt=%t: post-flush counts diverge (dirty state differs)", name, nt)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package decomp
+
+import "testing"
+
+// TestDecomposeCoversExactly is the table-driven tiling validation: for
+// a spread of rank counts (including the primes behind the paper's
+// prime-number effect) and mesh shapes, the rank subdomains must cover
+// the mesh exactly — every cell in exactly one tile, no overlap, no
+// gaps, all bounds inside the mesh.
+func TestDecomposeCoversExactly(t *testing.T) {
+	cases := []struct {
+		ranks, gx, gy int
+	}{
+		{1, 100, 100},
+		{2, 100, 100},
+		{4, 64, 64},
+		{6, 100, 40},
+		{17, 100, 100},   // prime
+		{19, 1536, 1536}, // prime, paper rank count
+		{36, 1536, 1536},
+		{71, 1536, 1536}, // prime, the paper's pathological count
+		{72, 1536, 1536},
+		{72, 15360, 15360},
+		{7, 37, 29}, // prime ranks on an odd non-square mesh
+		{12, 30, 90},
+	}
+	for _, tc := range cases {
+		subs := Decompose(tc.ranks, tc.gx, tc.gy)
+		if len(subs) != tc.ranks {
+			t.Errorf("%d ranks on %dx%d: %d subdomains", tc.ranks, tc.gx, tc.gy, len(subs))
+			continue
+		}
+		area := 0
+		for _, s := range subs {
+			if s.XMin < 1 || s.YMin < 1 || s.XMax > tc.gx || s.YMax > tc.gy {
+				t.Errorf("%d ranks on %dx%d: rank %d bounds [%d,%d]x[%d,%d] outside mesh",
+					tc.ranks, tc.gx, tc.gy, s.Rank, s.XMin, s.XMax, s.YMin, s.YMax)
+			}
+			if s.XSpan() < 1 || s.YSpan() < 1 {
+				t.Errorf("%d ranks on %dx%d: rank %d empty tile", tc.ranks, tc.gx, tc.gy, s.Rank)
+			}
+			area += s.XSpan() * s.YSpan()
+		}
+		if area != tc.gx*tc.gy {
+			t.Errorf("%d ranks on %dx%d: tiles cover %d cells, mesh has %d",
+				tc.ranks, tc.gx, tc.gy, area, tc.gx*tc.gy)
+		}
+		// Pairwise overlap: with the exact area sum above this also
+		// proves there are no gaps.
+		for i := 0; i < len(subs); i++ {
+			for j := i + 1; j < len(subs); j++ {
+				a, b := subs[i], subs[j]
+				if a.XMin <= b.XMax && b.XMin <= a.XMax && a.YMin <= b.YMax && b.YMin <= a.YMax {
+					t.Errorf("%d ranks on %dx%d: ranks %d and %d overlap",
+						tc.ranks, tc.gx, tc.gy, a.Rank, b.Rank)
+				}
+			}
+		}
+	}
+}
+
+// TestFactorizeConsistent: the chunk grid multiplies back to the rank
+// count, and prime counts on wide meshes cut the inner dimension.
+func TestFactorizeConsistent(t *testing.T) {
+	for n := 1; n <= 96; n++ {
+		cx, cy := Factorize(n, 15360, 15360)
+		if cx*cy != n {
+			t.Errorf("Factorize(%d) = %dx%d != %d", n, cx, cy, n)
+		}
+		if IsPrime(n) && n > 1 && cx != n {
+			t.Errorf("prime %d on a square mesh should cut x into %d chunks, got %dx%d", n, n, cx, cy)
+		}
+	}
+}

@@ -63,6 +63,51 @@ func BenchmarkHierarchyStencilMix(b *testing.B) {
 	}
 }
 
+// Batched-path benchmarks: the same access streams as the per-line
+// benchmarks above, replayed through AccessRange in spans of rangeLen
+// lines. Compare e.g. HierarchyLoad vs HierarchyLoadRange (both report
+// ns per simulated line access):
+//
+//	go test -bench 'BenchmarkHierarchy(Load|RFO)' ./internal/memsim
+const rangeLen = 256
+
+func benchRange(b *testing.B, kind AccessKind) {
+	h := benchHierarchy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += rangeLen {
+		h.AccessRange(int64(i%benchLines), rangeLen, kind)
+	}
+}
+
+func BenchmarkHierarchyLoadRange(b *testing.B) {
+	benchRange(b, AccessLoad)
+}
+
+func BenchmarkHierarchyRFORange(b *testing.B) {
+	benchRange(b, AccessRFO)
+}
+
+func BenchmarkHierarchyClaimI2MRange(b *testing.B) {
+	benchRange(b, AccessClaimI2M)
+}
+
+func BenchmarkHierarchyWriteNTRange(b *testing.B) {
+	benchRange(b, AccessWriteNT)
+}
+
+// BenchmarkHierarchyStencilMixRange is BenchmarkHierarchyStencilMix on
+// the batched API: two read streams and one written stream per span.
+func BenchmarkHierarchyStencilMixRange(b *testing.B) {
+	h := benchHierarchy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += rangeLen {
+		line := int64(i % benchLines)
+		h.AccessRange(line, rangeLen, AccessLoad)
+		h.AccessRange(line+benchLines, rangeLen, AccessLoad)
+		h.AccessRange(line+2*benchLines, rangeLen, AccessRFO)
+	}
+}
+
 func BenchmarkHierarchyFlush(b *testing.B) {
 	h := benchHierarchy()
 	for i := int64(0); i < benchLines; i++ {

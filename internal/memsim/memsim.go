@@ -14,6 +14,7 @@ package memsim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cloversim/internal/machine"
 )
@@ -85,10 +86,48 @@ type level struct {
 	sets  int
 	ways  int
 	mask  int64 // sets-1 (sets is a power of two)
+	shift uint  // log2(sets), for the presence-filter tag hash
 	tags  []int64
 	dirty []bool
 	stamp []uint32
 	clock uint32
+	// pred and predWB are the way indices of the most recent demand and
+	// write-back hits — pure search-order hints (sequential streams hit
+	// the same way across consecutive sets), never semantic state. The
+	// write-back stream gets its own slot so the two interleaved
+	// streams do not thrash one predictor.
+	pred   int
+	predWB int
+	// filt holds one presence filter per set: the OR of 1<<(tag>>shift
+	// & 63) over (a superset of) the set's resident tags. A clear bit
+	// proves a line absent, letting the batched fast paths skip miss
+	// scans entirely; evictions leave stale bits (false positives) that
+	// the fast-path victim scans rebuild away. Like the predictors this
+	// is pure search acceleration, never semantic state.
+	filt []uint64
+	// vq caches, per set, the next few LRU victims computed during a
+	// full victim scan. An entry (way, stamp) is still the true victim
+	// iff that way's stamp is unchanged: stamps only grow, every
+	// mutation of a way reassigns its stamp, and the operations that
+	// empty a way without evicting (the claims) clear the set's queue
+	// explicitly. Only full sets are cached, so stamps are unique and
+	// the first-empty-way rule cannot be bypassed.
+	vq []victimQueue
+}
+
+// victimQueue caches up to 3 pre-validated future victims of one set.
+type victimQueue struct {
+	n   uint8
+	way [3]uint8
+	st  [3]uint32
+}
+
+// bit returns the presence-filter bit of a line: hashed from the bits
+// above the set index, which advance once per sweep through the sets
+// (the low bits are the set index itself and would alias every resident
+// tag of a set onto one filter bit).
+func (l *level) bit(line int64) uint64 {
+	return 1 << (uint64(line>>l.shift) & 63)
 }
 
 func newLevel(g machine.CacheGeom) *level {
@@ -106,9 +145,12 @@ func newLevel(g machine.CacheGeom) *level {
 		sets:  sets,
 		ways:  g.Ways,
 		mask:  int64(sets - 1),
+		shift: uint(bits.TrailingZeros(uint(sets))),
 		tags:  make([]int64, sets*g.Ways),
 		dirty: make([]bool, sets*g.Ways),
 		stamp: make([]uint32, sets*g.Ways),
+		filt:  make([]uint64, sets),
+		vq:    make([]victimQueue, sets),
 	}
 	for i := range l.tags {
 		l.tags[i] = -1
@@ -150,13 +192,256 @@ func (l *level) victim(line int64) int {
 // install places a line (possibly dirty), returning the evicted line and
 // whether it was dirty (evicted == -1 if the slot was empty).
 func (l *level) install(line int64, dirty bool) (evicted int64, evDirty bool) {
-	slot := l.victim(line)
+	return l.installAt(l.victim(line), line, dirty)
+}
+
+// installAt places a line into a specific slot (as precomputed by probe),
+// with install's exact LRU clock behaviour. The presence filter picks up
+// the new tag here, on both the per-line and the batched path.
+func (l *level) installAt(slot int, line int64, dirty bool) (evicted int64, evDirty bool) {
 	evicted, evDirty = l.tags[slot], l.dirty[slot]
 	l.tags[slot] = line
 	l.dirty[slot] = dirty
 	l.clock++
 	l.stamp[slot] = l.clock
+	l.filt[int(line&l.mask)] |= l.bit(line)
 	return evicted, evDirty
+}
+
+// lookupFast is the batched-path lookup: identical semantics (hit
+// refreshes LRU exactly like lookup) but the hit is detected by a
+// predicted-way compare — lines of one sequential stream land on the
+// same way across consecutive sets — before falling back to the
+// unrolled tag scan. Since a line is installed only after a miss
+// confirmed its absence, tags are unique per set and the predicted-way
+// shortcut cannot change which slot a hit resolves to.
+func (l *level) lookupFast(line int64) (int, bool) {
+	si := int(line & l.mask)
+	set := si * l.ways
+	tags := l.tags[set : set+l.ways : set+l.ways]
+	if p := l.pred; p < len(tags) && tags[p] == line {
+		l.clock++
+		l.stamp[set+p] = l.clock
+		return set + p, true
+	}
+	if l.filt[si]&l.bit(line) == 0 {
+		return -1, false
+	}
+	if w := scanTags(tags, line); w >= 0 {
+		l.pred = w
+		l.clock++
+		l.stamp[set+w] = l.clock
+		return set + w, true
+	}
+	l.rebuild(si, tags)
+	return -1, false
+}
+
+// lookupWB is lookupFast on the write-back predictor slot: dirty
+// evictions of a sequential stream are themselves sequential, but lag
+// the demand stream, so they predict well only with their own slot.
+func (l *level) lookupWB(line int64) (int, bool) {
+	si := int(line & l.mask)
+	set := si * l.ways
+	tags := l.tags[set : set+l.ways : set+l.ways]
+	if p := l.predWB; p < len(tags) && tags[p] == line {
+		l.clock++
+		l.stamp[set+p] = l.clock
+		return set + p, true
+	}
+	if l.filt[si]&l.bit(line) == 0 {
+		return -1, false
+	}
+	if w := scanTags(tags, line); w >= 0 {
+		l.predWB = w
+		l.clock++
+		l.stamp[set+w] = l.clock
+		return set + w, true
+	}
+	l.rebuild(si, tags)
+	return -1, false
+}
+
+// lookupScan is lookupFast without the way prediction, for probes off
+// the sequential demand stream (prefetch candidates) whose interleaved
+// way patterns would only thrash the predictors. Candidate lines are
+// usually absent everywhere, so the filter skip carries this path.
+func (l *level) lookupScan(line int64) (int, bool) {
+	si := int(line & l.mask)
+	if l.filt[si]&l.bit(line) == 0 {
+		return -1, false
+	}
+	set := si * l.ways
+	tags := l.tags[set : set+l.ways : set+l.ways]
+	if w := scanTags(tags, line); w >= 0 {
+		l.clock++
+		l.stamp[set+w] = l.clock
+		return set + w, true
+	}
+	l.rebuild(si, tags)
+	return -1, false
+}
+
+// probe is lookupFast fused with victim selection in a single pass over
+// the set, for the batched demand path where a miss always leads to an
+// install: on hit it behaves exactly like lookup and returns (slot,
+// true); on miss it returns (victimSlot, false) where victimSlot is the
+// slot victim() would pick, valid until something mutates this set.
+// probe is used for L1, whose few sets saturate any presence filter —
+// so unlike installFast it does not pay for filter rebuilds; the L1
+// filter is refreshed only by installAt accumulation and Flush resets.
+func (l *level) probe(line int64) (int, bool) {
+	set := int(line&l.mask) * l.ways
+	tags := l.tags[set : set+l.ways : set+l.ways]
+	if p := l.pred; p < len(tags) && tags[p] == line {
+		l.clock++
+		l.stamp[set+p] = l.clock
+		return set + p, true
+	}
+	stamps := l.stamp[set : set+len(tags)]
+	victim := 0
+	bestStamp := stamps[0]
+	empty := false
+	for w, t := range tags {
+		if t == line {
+			l.pred = w
+			l.clock++
+			stamps[w] = l.clock
+			return set + w, true
+		}
+		if w == 0 || empty {
+			continue
+		}
+		if t == -1 {
+			// victim() returns the first empty way (scanning w=1 up).
+			victim = w
+			empty = true
+		} else if s := stamps[w]; s < bestStamp {
+			bestStamp = s
+			victim = w
+		}
+	}
+	return set + victim, false
+}
+
+// scanTags returns the way holding line, or -1 (tag-only scan, unrolled
+// to keep branch overhead off the per-access critical path).
+func scanTags(tags []int64, line int64) int {
+	w := 0
+	for ; w+4 <= len(tags); w += 4 {
+		if tags[w] == line {
+			return w
+		}
+		if tags[w+1] == line {
+			return w + 1
+		}
+		if tags[w+2] == line {
+			return w + 2
+		}
+		if tags[w+3] == line {
+			return w + 3
+		}
+	}
+	for ; w < len(tags); w++ {
+		if tags[w] == line {
+			return w
+		}
+	}
+	return -1
+}
+
+// victimWay is victim()'s scan over presliced tags: the first empty way
+// past way 0, else the LRU way.
+func (l *level) victimWay(set int, tags []int64) int {
+	stamps := l.stamp[set : set+len(tags)]
+	best := 0
+	bestStamp := stamps[0]
+	for w := 1; w < len(tags); w++ {
+		if tags[w] == -1 {
+			return w
+		}
+		if stamps[w] < bestStamp {
+			bestStamp = stamps[w]
+			best = w
+		}
+	}
+	return best
+}
+
+// installFast is install accelerated by the per-set victim queue: a
+// cached future victim validates with one stamp compare; on a queue
+// miss the full scan runs and refills the queue with the following
+// victims (only when the set is full, preserving the first-empty rule).
+func (l *level) installFast(line int64, dirty bool) (evicted int64, evDirty bool) {
+	si := int(line & l.mask)
+	set := si * l.ways
+	if q := &l.vq[si]; q.n > 0 {
+		slot := set + int(q.way[0])
+		if l.stamp[slot] == q.st[0] {
+			q.n--
+			q.way[0], q.st[0] = q.way[1], q.st[1]
+			q.way[1], q.st[1] = q.way[2], q.st[2]
+			return l.installAt(slot, line, dirty)
+		}
+		q.n = 0
+	}
+	tags := l.tags[set : set+l.ways : set+l.ways]
+	stamps := l.stamp[set : set+l.ways]
+	// Single pass: victim()'s exact semantics (first empty way past way
+	// 0 wins immediately) while collecting the 4 smallest stamps. Full
+	// sets have unique stamps (every one came from a clock increment),
+	// so the sorted order is unambiguous.
+	var w4 [4]uint8
+	var s4 [4]uint32
+	n := 0
+	for w := 0; w < len(tags); w++ {
+		if w > 0 && tags[w] == -1 {
+			return l.installAt(set+w, line, dirty)
+		}
+		s := stamps[w]
+		if n == 4 && s >= s4[3] {
+			continue
+		}
+		i := n
+		if i == 4 {
+			i = 3
+		}
+		for ; i > 0 && s < s4[i-1]; i-- {
+			w4[i], s4[i] = w4[i-1], s4[i-1]
+		}
+		w4[i], s4[i] = uint8(w), s
+		if n < 4 {
+			n++
+		}
+	}
+	if n > 1 {
+		q := &l.vq[si]
+		q.n = uint8(n - 1)
+		q.way[0], q.st[0] = w4[1], s4[1]
+		q.way[1], q.st[1] = w4[2], s4[2]
+		q.way[2], q.st[2] = w4[3], s4[3]
+	}
+	return l.installAt(set+int(w4[0]), line, dirty)
+}
+
+// vqClear invalidates the victim queue of line's set — required
+// whenever a way is emptied without a stamp reassignment (the claims),
+// since an empty way preempts the cached LRU order.
+func (l *level) vqClear(line int64) { l.vq[int(line&l.mask)].n = 0 }
+
+// rebuild replaces a set's presence filter with the OR over its
+// resident tags, shedding the stale bits evictions leave behind. Called
+// on a filter false positive (the filter said maybe-present, the scan
+// found nothing), so a saturated filter repairs itself exactly when it
+// starts costing wasted scans.
+func (l *level) rebuild(si int, tags []int64) {
+	var f uint64
+	for _, t := range tags {
+		if t != -1 {
+			f |= l.bit(t)
+		}
+	}
+	l.filt[si] = f
 }
 
 // Hierarchy is one core's cache hierarchy plus the memory controller
@@ -350,10 +635,12 @@ func (h *Hierarchy) ClaimI2M(line int64) {
 	if slot := h.l1.lookup(line); slot >= 0 {
 		h.l1.tags[slot] = -1
 		h.l1.dirty[slot] = false
+		h.l1.vqClear(line)
 	}
 	if slot := h.l2.lookup(line); slot >= 0 {
 		h.l2.tags[slot] = -1
 		h.l2.dirty[slot] = false
+		h.l2.vqClear(line)
 	}
 	if slot := h.l3.lookup(line); slot >= 0 {
 		h.l3.dirty[slot] = true
@@ -373,6 +660,7 @@ func (h *Hierarchy) ClaimL2(line int64) {
 	if slot := h.l1.lookup(line); slot >= 0 {
 		h.l1.tags[slot] = -1
 		h.l1.dirty[slot] = false
+		h.l1.vqClear(line)
 	}
 	if slot := h.l2.lookup(line); slot >= 0 {
 		h.l2.dirty[slot] = true
@@ -417,6 +705,12 @@ func (h *Hierarchy) Flush() {
 			l.dirty[i] = false
 			l.stamp[i] = 0
 		}
+		for i := range l.filt {
+			l.filt[i] = 0
+		}
+		for i := range l.vq {
+			l.vq[i] = victimQueue{}
+		}
 		l.clock = 0
 	}
 	for i := range h.pfSlots {
@@ -431,6 +725,12 @@ func (h *Hierarchy) Invalidate() {
 			l.tags[i] = -1
 			l.dirty[i] = false
 			l.stamp[i] = 0
+		}
+		for i := range l.filt {
+			l.filt[i] = 0
+		}
+		for i := range l.vq {
+			l.vq[i] = victimQueue{}
 		}
 		l.clock = 0
 	}

@@ -1,0 +1,206 @@
+package memsim
+
+import (
+	"fmt"
+	"testing"
+
+	"cloversim/internal/machine"
+)
+
+// perLine replays one range through the reference per-line methods.
+func perLine(h *Hierarchy, start, n int64, kind AccessKind) {
+	for line := start; line < start+n; line++ {
+		switch kind {
+		case AccessLoad:
+			h.Load(line)
+		case AccessRFO:
+			h.RFO(line)
+		case AccessClaimI2M:
+			h.ClaimI2M(line)
+		case AccessClaimL2:
+			h.ClaimL2(line)
+		case AccessWriteNT:
+			h.WriteNT(line)
+		case AccessWriteNTReverted:
+			h.WriteNTReverted(line)
+		case AccessWriteStreamed:
+			h.WriteStreamed(line)
+		}
+	}
+}
+
+var allKinds = []AccessKind{AccessLoad, AccessRFO, AccessClaimI2M, AccessClaimL2,
+	AccessWriteNT, AccessWriteNTReverted, AccessWriteStreamed}
+
+// diffSpecs are the machine models the differential tests sweep: an ItoM
+// machine with the stream prefetcher, one with an adjacent-line
+// prefetcher (exercising the buddy fetch), and the A64FX claim-zero CPU.
+func diffSpecs() []*machine.Spec {
+	adj := machine.ICX8360Y()
+	adj.Name = "icx+adj"
+	adj.PF.AdjacentEnabled = true
+	return []*machine.Spec{machine.ICX8360Y(), adj, machine.A64FX()}
+}
+
+// xorshift64* PRNG, deterministic pattern generator for the tests.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// pattern is one (start, n, kind) batch of a random access trace.
+type pattern struct {
+	start int64
+	n     int64
+	kind  AccessKind
+}
+
+// randomTrace draws batches with run lengths spanning partial sets, full
+// sets, and multi-set wraps, over an address span that stresses both
+// conflict misses and reuse.
+func randomTrace(seed uint64, batches int) []pattern {
+	r := &rng{s: seed | 1}
+	out := make([]pattern, batches)
+	for i := range out {
+		out[i] = pattern{
+			start: int64(r.next() % (1 << 15)),
+			n:     int64(r.next()%200) + 1,
+			kind:  allKinds[r.next()%uint64(len(allKinds))],
+		}
+	}
+	return out
+}
+
+// replay runs a trace on a fresh hierarchy via run and returns the final
+// counts, post-flush counts (catching dirty-state divergence), and the
+// dirty-line census before the flush.
+func replay(spec *machine.Spec, pfOn bool, trace []pattern,
+	run func(*Hierarchy, pattern)) (mid Counts, dirty int, final Counts) {
+	h := New(spec)
+	h.SetPrefetch(pfOn)
+	for _, p := range trace {
+		run(h, p)
+	}
+	mid = h.Counts()
+	dirty = h.DirtyLines()
+	h.Flush()
+	return mid, dirty, h.Counts()
+}
+
+// TestAccessRangeDifferential: AccessRange must yield bit-identical
+// Counts and dirty state to the per-line reference path, across random
+// access patterns, prefetch on/off, and every access kind.
+func TestAccessRangeDifferential(t *testing.T) {
+	for _, spec := range diffSpecs() {
+		for _, pfOn := range []bool{true, false} {
+			for seed := uint64(1); seed <= 8; seed++ {
+				trace := randomTrace(seed*0x9e3779b97f4a7c15, 300)
+				wantMid, wantDirty, wantFinal := replay(spec, pfOn, trace,
+					func(h *Hierarchy, p pattern) { perLine(h, p.start, p.n, p.kind) })
+				gotMid, gotDirty, gotFinal := replay(spec, pfOn, trace,
+					func(h *Hierarchy, p pattern) { h.AccessRange(p.start, p.n, p.kind) })
+				if gotMid != wantMid {
+					t.Fatalf("%s pf=%t seed=%d: counts diverge\nbatched: %+v\nper-line: %+v",
+						spec.Name, pfOn, seed, gotMid, wantMid)
+				}
+				if gotDirty != wantDirty {
+					t.Fatalf("%s pf=%t seed=%d: dirty lines %d, per-line %d",
+						spec.Name, pfOn, seed, gotDirty, wantDirty)
+				}
+				if gotFinal != wantFinal {
+					t.Fatalf("%s pf=%t seed=%d: post-flush counts diverge\nbatched: %+v\nper-line: %+v",
+						spec.Name, pfOn, seed, gotFinal, wantFinal)
+				}
+			}
+		}
+	}
+}
+
+// TestAccessRangePerKind isolates each kind on a long sequential run and
+// a short wrap-around run — the two shapes traffic generators emit.
+func TestAccessRangePerKind(t *testing.T) {
+	spec := machine.ICX8360Y()
+	for _, kind := range allKinds {
+		for _, pfOn := range []bool{true, false} {
+			t.Run(fmt.Sprintf("%v/pf=%t", kind, pfOn), func(t *testing.T) {
+				trace := []pattern{
+					{start: 100, n: 4096, kind: kind},  // long stream
+					{start: 100, n: 4096, kind: kind},  // full reuse
+					{start: 4000, n: 300, kind: kind},  // overlap
+					{start: 1 << 20, n: 1, kind: kind}, // singleton far away
+				}
+				wantMid, wantDirty, wantFinal := replay(spec, pfOn, trace,
+					func(h *Hierarchy, p pattern) { perLine(h, p.start, p.n, p.kind) })
+				gotMid, gotDirty, gotFinal := replay(spec, pfOn, trace,
+					func(h *Hierarchy, p pattern) { h.AccessRange(p.start, p.n, p.kind) })
+				if gotMid != wantMid || gotDirty != wantDirty || gotFinal != wantFinal {
+					t.Fatalf("counts diverge\nbatched: %+v dirty=%d final=%+v\nper-line: %+v dirty=%d final=%+v",
+						gotMid, gotDirty, gotFinal, wantMid, wantDirty, wantFinal)
+				}
+			})
+		}
+	}
+}
+
+// TestAccessRangeMixedWithPerLine: interleaving batched and per-line
+// calls on the SAME hierarchy must behave as one continuous trace, so
+// callers may mix APIs freely (the store engine stays per-line while
+// read streams batch).
+func TestAccessRangeMixedWithPerLine(t *testing.T) {
+	spec := machine.ICX8360Y()
+	trace := randomTrace(0xf00d, 200)
+	wantMid, _, wantFinal := replay(spec, true, trace,
+		func(h *Hierarchy, p pattern) { perLine(h, p.start, p.n, p.kind) })
+	gotMid, _, gotFinal := replay(spec, true, trace, func(h *Hierarchy, p pattern) {
+		if p.n%2 == 0 {
+			h.AccessRange(p.start, p.n, p.kind)
+		} else {
+			perLine(h, p.start, p.n, p.kind)
+		}
+	})
+	if gotMid != wantMid || gotFinal != wantFinal {
+		t.Fatalf("mixed trace diverges: %+v vs %+v", gotMid, wantMid)
+	}
+}
+
+// TestAccessRangeEmptyAndNegative: n <= 0 must be a no-op.
+func TestAccessRangeEmptyAndNegative(t *testing.T) {
+	h := New(machine.ICX8360Y())
+	for _, kind := range allKinds {
+		h.AccessRange(42, 0, kind)
+		h.AccessRange(42, -3, kind)
+	}
+	if c := h.Counts(); c != (Counts{}) {
+		t.Fatalf("empty ranges produced traffic: %+v", c)
+	}
+}
+
+// FuzzAccessRange fuzzes the differential property over arbitrary
+// (seed, batches, pf) triples. The seed corpus covers each access kind,
+// both prefetch states, and degenerate lengths.
+func FuzzAccessRange(f *testing.F) {
+	f.Add(uint64(1), uint8(4), true)
+	f.Add(uint64(2), uint8(1), false)
+	f.Add(uint64(0x5eed), uint8(16), true)
+	f.Add(uint64(0x9e3779b97f4a7c15), uint8(32), false)
+	f.Add(uint64(7), uint8(0), true)
+	for i, k := range allKinds {
+		f.Add(uint64(k)<<8|uint64(i), uint8(8), i%2 == 0)
+	}
+	spec := machine.ICX8360Y()
+	f.Fuzz(func(t *testing.T, seed uint64, batches uint8, pfOn bool) {
+		trace := randomTrace(seed, int(batches%64)+1)
+		wantMid, wantDirty, wantFinal := replay(spec, pfOn, trace,
+			func(h *Hierarchy, p pattern) { perLine(h, p.start, p.n, p.kind) })
+		gotMid, gotDirty, gotFinal := replay(spec, pfOn, trace,
+			func(h *Hierarchy, p pattern) { h.AccessRange(p.start, p.n, p.kind) })
+		if gotMid != wantMid || gotDirty != wantDirty || gotFinal != wantFinal {
+			t.Fatalf("seed=%#x pf=%t: batched %+v dirty=%d vs per-line %+v dirty=%d",
+				seed, pfOn, gotMid, gotDirty, wantMid, wantDirty)
+		}
+	})
+}

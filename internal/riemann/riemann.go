@@ -139,6 +139,39 @@ func (s Solution) sampleSide(xi float64, k State, sign float64, g float64) State
 	}
 }
 
+// ProfileStats summarizes a sampled profile: the mean state and the
+// density extrema. Campaign workloads emit these as physics metrics, so
+// a perturbed solver shows up as a changed campaign fixture.
+type ProfileStats struct {
+	MeanRho, MeanU, MeanP float64
+	MinRho, MaxRho        float64
+}
+
+// Stats computes the profile summary of states (zero value for empty
+// input).
+func Stats(states []State) ProfileStats {
+	if len(states) == 0 {
+		return ProfileStats{}
+	}
+	s := ProfileStats{MinRho: states[0].Rho, MaxRho: states[0].Rho}
+	for _, st := range states {
+		s.MeanRho += st.Rho
+		s.MeanU += st.U
+		s.MeanP += st.P
+		if st.Rho < s.MinRho {
+			s.MinRho = st.Rho
+		}
+		if st.Rho > s.MaxRho {
+			s.MaxRho = st.Rho
+		}
+	}
+	n := float64(len(states))
+	s.MeanRho /= n
+	s.MeanU /= n
+	s.MeanP /= n
+	return s
+}
+
 // Profile samples the solution at time t on a uniform grid of n cells
 // spanning [x0, x1] with the initial discontinuity at xDiaphragm.
 func (s Solution) Profile(t, x0, x1, xDiaphragm float64, n int) []State {

@@ -21,7 +21,7 @@ type Emitter interface {
 // blank metric cells.
 func (c Campaign) Table() *csvout.Table {
 	metrics := c.MetricNames()
-	header := append([]string{"id", "machine", "mode", "ranks", "mesh", "threads", "status"}, metrics...)
+	header := append([]string{"id", "machine", "workload", "mode", "ranks", "mesh", "threads", "status"}, metrics...)
 	t := csvout.New(header...)
 	for _, r := range c.Results {
 		status := "ok"
@@ -31,7 +31,7 @@ func (c Campaign) Table() *csvout.Table {
 		if r.Err != nil {
 			status = "error: " + r.Err.Error()
 		}
-		row := []interface{}{r.ID, r.Scenario.Machine, r.Scenario.Mode.Name,
+		row := []interface{}{r.ID, r.Scenario.Machine, r.Scenario.Workload, r.Scenario.Mode.Name,
 			r.Scenario.Ranks, r.Scenario.Mesh.String(), r.Scenario.Threads, status}
 		for _, name := range metrics {
 			if v, ok := r.Metrics.Get(name); ok {
@@ -58,16 +58,17 @@ type jsonMetric struct {
 }
 
 type jsonResult struct {
-	ID      string       `json:"id"`
-	Machine string       `json:"machine"`
-	Mode    string       `json:"mode"`
-	Ranks   int          `json:"ranks"`
-	Mesh    string       `json:"mesh"`
-	Threads int          `json:"threads"`
-	Seed    uint64       `json:"seed"`
-	Cached  bool         `json:"cached,omitempty"`
-	Error   string       `json:"error,omitempty"`
-	Metrics []jsonMetric `json:"metrics,omitempty"`
+	ID       string       `json:"id"`
+	Machine  string       `json:"machine"`
+	Workload string       `json:"workload,omitempty"`
+	Mode     string       `json:"mode"`
+	Ranks    int          `json:"ranks"`
+	Mesh     string       `json:"mesh"`
+	Threads  int          `json:"threads"`
+	Seed     uint64       `json:"seed"`
+	Cached   bool         `json:"cached,omitempty"`
+	Error    string       `json:"error,omitempty"`
+	Metrics  []jsonMetric `json:"metrics,omitempty"`
 }
 
 type jsonCampaign struct {
@@ -90,14 +91,15 @@ func (e JSONEmitter) Emit(w io.Writer, c Campaign) error {
 	}
 	for _, r := range c.Results {
 		jr := jsonResult{
-			ID:      r.ID,
-			Machine: r.Scenario.Machine,
-			Mode:    r.Scenario.Mode.Name,
-			Ranks:   r.Scenario.Ranks,
-			Mesh:    r.Scenario.Mesh.String(),
-			Threads: r.Scenario.Threads,
-			Seed:    r.Scenario.Seed,
-			Cached:  r.Cached,
+			ID:       r.ID,
+			Machine:  r.Scenario.Machine,
+			Workload: r.Scenario.Workload,
+			Mode:     r.Scenario.Mode.Name,
+			Ranks:    r.Scenario.Ranks,
+			Mesh:     r.Scenario.Mesh.String(),
+			Threads:  r.Scenario.Threads,
+			Seed:     r.Scenario.Seed,
+			Cached:   r.Cached,
 		}
 		if r.Err != nil {
 			jr.Error = r.Err.Error()
@@ -157,6 +159,9 @@ func (e SummaryEmitter) Emit(w io.Writer, c Campaign) error {
 			continue
 		}
 		name := r.Scenario.Mode.Name
+		if r.Scenario.Workload != "" {
+			name = r.Scenario.Workload + "/" + name
+		}
 		i, seen := idx[name]
 		if !seen {
 			i = len(series)

@@ -1,0 +1,61 @@
+package sweep
+
+import "testing"
+
+// TestModeLookupAllocFree guards the satellite fix: the mode helpers
+// used to rebuild a slice per call inside campaign hot loops. They must
+// stay allocation-free.
+func TestModeLookupAllocFree(t *testing.T) {
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := ModeByName("nt"); !ok {
+			t.Fatal("nt mode missing")
+		}
+		if _, ok := ModeByName("bogus"); ok {
+			t.Fatal("bogus mode resolved")
+		}
+		if len(AllModes()) == 0 || len(ModeNames()) == 0 {
+			t.Fatal("empty mode tables")
+		}
+	}); n != 0 {
+		t.Errorf("mode lookups allocate %.1f objects per run, want 0", n)
+	}
+}
+
+// TestModeTablesConsistent: the package-level index and name list must
+// stay in sync with the mode list itself.
+func TestModeTablesConsistent(t *testing.T) {
+	all := AllModes()
+	names := ModeNames()
+	if len(all) != len(names) {
+		t.Fatalf("AllModes has %d entries, ModeNames %d", len(all), len(names))
+	}
+	for i, m := range all {
+		if names[i] != m.Name {
+			t.Errorf("ModeNames[%d] = %q, want %q", i, names[i], m.Name)
+		}
+		got, ok := ModeByName(m.Name)
+		if !ok || got != m {
+			t.Errorf("ModeByName(%q) = %+v, %t, want %+v", m.Name, got, ok, m)
+		}
+	}
+}
+
+// BenchmarkModeByName is the benchmark guard for the lookup hot path.
+func BenchmarkModeByName(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ModeByName("nt-opt"); !ok {
+			b.Fatal("mode missing")
+		}
+	}
+}
+
+// BenchmarkAllModes guards the former per-call slice rebuild.
+func BenchmarkAllModes(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(AllModes()) == 0 {
+			b.Fatal("no modes")
+		}
+	}
+}

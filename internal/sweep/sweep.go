@@ -1,6 +1,7 @@
 // Package sweep is a concurrent experiment-campaign engine: a
-// declarative parameter grid (machine preset x write-allocate-evasion
-// mode x ranks x mesh x threads) expands into scenarios with stable
+// declarative parameter grid (machine preset x workload x
+// write-allocate-evasion mode x ranks x mesh x threads) expands into
+// scenarios with stable
 // config-hash IDs, a bounded worker pool executes them in parallel, and
 // pluggable emitters render the results in deterministic grid order.
 //
@@ -29,39 +30,49 @@ type Mode struct {
 	PFOff         bool // hardware prefetchers disabled
 }
 
-// AllModes lists the evasion configurations the paper evaluates:
-// the unmodified build, the build with SpecI2M disabled (the
-// no-evasion baseline), non-temporal stores, NT plus restructured
-// loops, and the prefetcher-off ablation.
-func AllModes() []Mode {
-	return []Mode{
+// allModes, modeIndex and modeNames are package-level so the lookup
+// helpers below stay allocation-free in campaign hot loops (they used
+// to rebuild a slice per call).
+var (
+	allModes = []Mode{
 		{Name: "baseline"},
 		{Name: "speci2m-off", SpecI2MOff: true},
 		{Name: "nt", NTStores: true},
 		{Name: "nt-opt", NTStores: true, OptimizeLoops: true},
 		{Name: "pf-off", PFOff: true},
 	}
-}
-
-// ModeByName resolves a mode by its name.
-func ModeByName(name string) (Mode, bool) {
-	for _, m := range AllModes() {
-		if m.Name == name {
-			return m, true
+	modeIndex = func() map[string]Mode {
+		m := make(map[string]Mode, len(allModes))
+		for _, mode := range allModes {
+			m[mode.Name] = mode
 		}
-	}
-	return Mode{}, false
+		return m
+	}()
+	modeNames = func() []string {
+		out := make([]string, len(allModes))
+		for i, m := range allModes {
+			out[i] = m.Name
+		}
+		return out
+	}()
+)
+
+// AllModes lists the evasion configurations the paper evaluates:
+// the unmodified build, the build with SpecI2M disabled (the
+// no-evasion baseline), non-temporal stores, NT plus restructured
+// loops, and the prefetcher-off ablation. The returned slice is shared
+// package state: treat it as read-only (copy before mutating).
+func AllModes() []Mode { return allModes }
+
+// ModeByName resolves a mode by its name without allocating.
+func ModeByName(name string) (Mode, bool) {
+	m, ok := modeIndex[name]
+	return m, ok
 }
 
-// ModeNames lists the names of AllModes.
-func ModeNames() []string {
-	all := AllModes()
-	out := make([]string, len(all))
-	for i, m := range all {
-		out[i] = m.Name
-	}
-	return out
-}
+// ModeNames lists the names of AllModes. The returned slice is shared
+// package state: treat it as read-only.
+func ModeNames() []string { return modeNames }
 
 // Mesh is a global problem size; the zero value means the paper's
 // default 15360^2 grid.
@@ -92,13 +103,14 @@ func ParseMesh(s string) (Mesh, error) {
 // "runner default" (full node for Ranks/Threads, paper mesh for Mesh);
 // they stay zero in the canonical key so the hash is declaration-stable.
 type Scenario struct {
-	Machine string // machine preset name (machine.ByName)
-	Mode    Mode
-	Ranks   int  // MPI rank count; 0 = full node
-	Mesh    Mesh // global problem size; zero = 15360^2
-	Threads int  // microbenchmark core count; 0 = full node
-	MaxRows int  // y-extent truncation; 0 = runner default, <0 = full
-	Seed    uint64
+	Machine  string // machine preset name (machine.ByName)
+	Workload string // workload name (internal/workload registry); "" = runner default
+	Mode     Mode
+	Ranks    int  // MPI rank count; 0 = full node
+	Mesh     Mesh // global problem size; zero = workload default
+	Threads  int  // microbenchmark core count; 0 = full node
+	MaxRows  int  // y-extent truncation; 0 = runner default, <0 = full
+	Seed     uint64
 }
 
 // Key is the canonical, human-readable configuration string the ID
@@ -106,8 +118,8 @@ type Scenario struct {
 // when they are configured identically.
 func (s Scenario) Key() string {
 	return fmt.Sprintf(
-		"machine=%s mode=%s nt=%t opt=%t i2moff=%t pfoff=%t ranks=%d mesh=%s threads=%d maxrows=%d seed=%#x",
-		s.Machine, s.Mode.Name, s.Mode.NTStores, s.Mode.OptimizeLoops,
+		"machine=%s workload=%s mode=%s nt=%t opt=%t i2moff=%t pfoff=%t ranks=%d mesh=%s threads=%d maxrows=%d seed=%#x",
+		s.Machine, s.Workload, s.Mode.Name, s.Mode.NTStores, s.Mode.OptimizeLoops,
 		s.Mode.SpecI2MOff, s.Mode.PFOff,
 		s.Ranks, s.Mesh, s.Threads, s.MaxRows, s.Seed)
 }
@@ -121,7 +133,11 @@ func (s Scenario) ID() string {
 
 // Label is a short human-readable tag for progress output.
 func (s Scenario) Label() string {
-	l := s.Machine + "/" + s.Mode.Name
+	l := s.Machine
+	if s.Workload != "" {
+		l += "/" + s.Workload
+	}
+	l += "/" + s.Mode.Name
 	if s.Ranks > 0 {
 		l += fmt.Sprintf("/r%d", s.Ranks)
 	}
@@ -135,11 +151,12 @@ func (s Scenario) Label() string {
 // axes contribute a single zero (runner-default) value, so the minimal
 // grid {Machines: ["icx"]} is one scenario.
 type Grid struct {
-	Machines []string
-	Modes    []Mode
-	Ranks    []int
-	Meshes   []Mesh
-	Threads  []int
+	Machines  []string
+	Workloads []string
+	Modes     []Mode
+	Ranks     []int
+	Meshes    []Mesh
+	Threads   []int
 	// MaxRows and Seed are campaign-wide, not axes.
 	MaxRows int
 	Seed    uint64
@@ -155,29 +172,33 @@ func orDefault[T any](xs []T) []T {
 
 // Size returns the number of scenarios Expand produces.
 func (g Grid) Size() int {
-	return len(orDefault(g.Machines)) * len(orDefault(g.Modes)) *
+	return len(orDefault(g.Machines)) * len(orDefault(g.Workloads)) * len(orDefault(g.Modes)) *
 		len(orDefault(g.Meshes)) * len(orDefault(g.Ranks)) * len(orDefault(g.Threads))
 }
 
 // Expand produces the scenario list in deterministic grid order:
-// machine (outermost), mode, mesh, ranks, threads (innermost). Emitters
-// preserve this order regardless of execution interleaving.
+// machine (outermost), workload, mode, mesh, ranks, threads
+// (innermost). Emitters preserve this order regardless of execution
+// interleaving.
 func (g Grid) Expand() []Scenario {
 	out := make([]Scenario, 0, g.Size())
 	for _, mach := range orDefault(g.Machines) {
-		for _, mode := range orDefault(g.Modes) {
-			for _, mesh := range orDefault(g.Meshes) {
-				for _, ranks := range orDefault(g.Ranks) {
-					for _, threads := range orDefault(g.Threads) {
-						out = append(out, Scenario{
-							Machine: mach,
-							Mode:    mode,
-							Ranks:   ranks,
-							Mesh:    mesh,
-							Threads: threads,
-							MaxRows: g.MaxRows,
-							Seed:    g.Seed,
-						})
+		for _, wl := range orDefault(g.Workloads) {
+			for _, mode := range orDefault(g.Modes) {
+				for _, mesh := range orDefault(g.Meshes) {
+					for _, ranks := range orDefault(g.Ranks) {
+						for _, threads := range orDefault(g.Threads) {
+							out = append(out, Scenario{
+								Machine:  mach,
+								Workload: wl,
+								Mode:     mode,
+								Ranks:    ranks,
+								Mesh:     mesh,
+								Threads:  threads,
+								MaxRows:  g.MaxRows,
+								Seed:     g.Seed,
+							})
+						}
 					}
 				}
 			}

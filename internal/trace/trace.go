@@ -294,9 +294,9 @@ func (x *Executor) runBody(l *Loop, b Bounds) {
 			row := k + g.dk
 			lo := g.a.Addr(b.JLo+g.minDJ, row)
 			hi := g.a.Addr(b.JHi+g.maxDJ, row) + elem - 1
-			for line := lo >> 6; line <= hi>>6; line++ {
-				x.H.Load(line)
-			}
+			// Each row is one sequential line run: replay it on the
+			// batched memsim fast path.
+			x.H.AccessRange(lo>>6, hi>>6-lo>>6+1, memsim.AccessLoad)
 		}
 		for i, w := range l.Writes {
 			row := k + w.DK
@@ -309,9 +309,7 @@ func (x *Executor) runBody(l *Loop, b Bounds) {
 				// no write-allocate traffic, one write-back per line.
 				lo := addr
 				hi := addr + n - 1
-				for line := lo >> 6; line <= hi>>6; line++ {
-					x.H.RFO(line)
-				}
+				x.H.AccessRange(lo>>6, hi>>6-lo>>6+1, memsim.AccessRFO)
 				continue
 			}
 			x.E.StoreRange(i, addr, n)

@@ -1,99 +1,27 @@
 package cloversim
 
 import (
-	"fmt"
-
-	"cloversim/internal/bench"
-	"cloversim/internal/cloverleaf"
 	"cloversim/internal/machine"
 	"cloversim/internal/sweep"
+	"cloversim/internal/workload"
 )
 
-// RunScenario is the standard whole-paper campaign workload for one
-// sweep scenario: the CloverLeaf traffic study plus time model at the
-// scenario's rank count, and the store/copy microbenchmarks at the
-// scenario's thread count, all under the scenario's evasion mode.
-// It is the Runner that cmd/sweep feeds to the sweep engine.
+// RunScenario executes one sweep scenario through the workload
+// registry: the scenario's workload (default: the CloverLeaf study)
+// resolved by name, with runner defaults applied for unset axes. It is
+// the Runner that cmd/sweep feeds to the sweep engine.
 func RunScenario(s sweep.Scenario) (sweep.Metrics, error) {
-	spec, ok := machine.ByName(s.Machine)
-	if !ok {
-		return nil, fmt.Errorf("cloversim: unknown machine %q (have %v)", s.Machine, machine.Names())
-	}
-	ranks := s.Ranks
-	if ranks <= 0 {
-		ranks = spec.Cores()
-	}
-	threads := s.Threads
-	if threads <= 0 {
-		threads = spec.Cores()
-	}
-	maxRows := s.MaxRows
-	switch {
-	case maxRows == 0:
-		maxRows = 32 // tractable default; traffic/it is row-invariant
-	case maxRows < 0:
-		maxRows = 0 // paper-faithful full extent
-	}
-
-	to := cloverleaf.TrafficOptions{
-		Machine:       spec,
-		Ranks:         ranks,
-		GridX:         s.Mesh.X,
-		GridY:         s.Mesh.Y,
-		MaxRows:       maxRows,
-		AlignArrays:   true,
-		NTStores:      s.Mode.NTStores,
-		OptimizeLoops: s.Mode.OptimizeLoops,
-		SpecI2MOff:    s.Mode.SpecI2MOff,
-		PFOff:         s.Mode.PFOff,
-		Seed:          s.Seed,
-	}
-	m, err := cloverleaf.ModelNode(to)
-	if err != nil {
-		return nil, err
-	}
-
-	var out sweep.Metrics
-	out.Add("step_sec", m.StepSeconds)
-	out.Add("total_step_sec", m.TotalStepSeconds)
-	out.Add("mpi_sec", m.MPIPerStep.Total())
-	out.Add("bandwidth_gbs", m.BandwidthBytes/1e9)
-	out.Add("bytes_per_cell", m.Traffic.BytesPerStep()/m.Traffic.InnerCells)
-
-	// The microbenchmarks honor the SpecI2M MSR knob via a spec copy.
-	bspec := spec
-	if s.Mode.SpecI2MOff {
-		c := *spec
-		c.I2M.Enabled = false
-		bspec = &c
-	}
-	st, err := bench.RunStore(bench.StoreOptions{
-		Machine: bspec, Streams: 1, NT: s.Mode.NTStores, Cores: threads,
-		BytesPerStream: 2 << 20, PFOff: s.Mode.PFOff, Seed: s.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out.Add("store_ratio", st.Ratio())
-	cp, err := bench.RunCopy(bench.CopyOptions{
-		Machine: bspec, Cores: threads, Elems: 1 << 18,
-		NT: s.Mode.NTStores, PFOff: s.Mode.PFOff, Seed: s.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out.Add("copy_read_bpi", cp.ReadPerIt())
-	out.Add("copy_write_bpi", cp.WritePerIt())
-	out.Add("copy_itom_bpi", cp.ItoMPerIt())
-	return out, nil
+	return workload.Run(s)
 }
 
-// CampaignGrid is the full cross-product campaign of the paper: every
-// machine preset under every write-allocate-evasion mode, full node.
+// CampaignGrid is the full cross-product campaign of the paper and
+// beyond: every machine preset x every registered workload x every
+// write-allocate-evasion mode, full node.
 func CampaignGrid(seed uint64) sweep.Grid {
 	return sweep.Grid{
-		Machines: machine.Names(),
-		Modes:    sweep.AllModes(),
-		Seed:     seed,
+		Machines:  machine.Names(),
+		Workloads: workload.Names(),
+		Modes:     sweep.AllModes(),
+		Seed:      seed,
 	}
 }
