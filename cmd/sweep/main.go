@@ -10,169 +10,28 @@
 //	sweep -workloads cloverleaf,stream,jacobi,riemann
 //	sweep -ranks 18,36,72 -threads 1,18,36
 //	sweep -mesh 3840x3840,15360x15360 -out results/sweep
+//	sweep -store results/store             # resumable: warm scenarios skip simulation
 //
 // Grid syntax: every axis flag is a comma-separated value list (or
 // "all" where noted); the campaign is the full cross product of the
 // axes. Unset axes use the runner default (full node, paper mesh).
+//
+// With -store, every simulated result is appended to a persistent
+// content-addressed store and every already-stored scenario is served
+// from it: re-running a campaign performs zero simulation work and
+// emits byte-identical output. The exit code is non-zero when any
+// scenario fails or store writes fail.
+//
+// The program logic lives in internal/sweepcli, where the e2e test
+// harness runs it in-process.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"path/filepath"
-	"runtime"
-	"strconv"
-	"strings"
 
-	"cloversim"
-	"cloversim/internal/machine"
-	"cloversim/internal/sweep"
-	"cloversim/internal/workload"
+	"cloversim/internal/sweepcli"
 )
 
 func main() {
-	var (
-		machines  = flag.String("machines", "all", "comma-separated machine presets, or all of "+strings.Join(machine.Names(), ","))
-		workloads = flag.String("workloads", "all", "comma-separated workloads, or all of "+strings.Join(workload.Names(), ","))
-		modes     = flag.String("modes", "all", "comma-separated evasion modes, or all of "+strings.Join(sweep.ModeNames(), ","))
-		ranks     = flag.String("ranks", "", "comma-separated rank counts (default: full node)")
-		threads   = flag.String("threads", "", "comma-separated microbenchmark core counts (default: full node)")
-		mesh      = flag.String("mesh", "", "comma-separated problem sizes WxH (default: 15360x15360)")
-		maxRows   = flag.Int("maxrows", 0, "y-extent truncation (0 = fast default 32, -1 = paper-faithful full extent)")
-		seed      = flag.Uint64("seed", 0, "deterministic PRNG seed (0 = default)")
-		workers   = flag.Int("workers", 0, "max concurrent scenarios (0 = GOMAXPROCS)")
-		out       = flag.String("out", "results/sweep", "output directory for campaign.csv and campaign.json")
-		plot      = flag.String("plot", "store_ratio", "metric for the ASCII summary chart (empty = first metric)")
-		quiet     = flag.Bool("q", false, "suppress per-scenario progress and the result table")
-	)
-	flag.Parse()
-
-	grid := cloversim.CampaignGrid(*seed)
-	grid.MaxRows = *maxRows
-	if *machines != "all" {
-		grid.Machines = splitList(*machines)
-		for _, m := range grid.Machines {
-			if _, ok := machine.ByName(m); !ok {
-				fatal(fmt.Errorf("unknown machine %q (have %v)", m, machine.Names()))
-			}
-		}
-	}
-	if *workloads != "all" {
-		grid.Workloads = splitList(*workloads)
-		for _, w := range grid.Workloads {
-			if _, ok := workload.ByName(w); !ok {
-				fatal(fmt.Errorf("unknown workload %q (have %v)", w, workload.Names()))
-			}
-		}
-	}
-	if *modes != "all" {
-		// Fresh slice: grid.Modes aliases the shared sweep.AllModes
-		// backing array, which a reslice-append would corrupt.
-		var picked []sweep.Mode
-		for _, name := range splitList(*modes) {
-			m, ok := sweep.ModeByName(name)
-			if !ok {
-				fatal(fmt.Errorf("unknown mode %q (have %v)", name, sweep.ModeNames()))
-			}
-			picked = append(picked, m)
-		}
-		grid.Modes = picked
-	}
-	var err error
-	if grid.Ranks, err = intList(*ranks); err != nil {
-		fatal(err)
-	}
-	if grid.Threads, err = intList(*threads); err != nil {
-		fatal(err)
-	}
-	for _, s := range splitList(*mesh) {
-		m, err := sweep.ParseMesh(s)
-		if err != nil {
-			fatal(err)
-		}
-		grid.Meshes = append(grid.Meshes, m)
-	}
-
-	eng := sweep.NewEngine(*workers)
-	if !*quiet {
-		nw := *workers
-		if nw <= 0 {
-			nw = runtime.GOMAXPROCS(0)
-		}
-		fmt.Printf("sweep: %d scenarios (%d machines x %d workloads x %d modes), %d workers\n",
-			grid.Size(), len(grid.Machines), len(grid.Workloads), len(grid.Modes), nw)
-		eng.Progress = func(done, total int, r sweep.Result) {
-			fmt.Println(sweep.ProgressLine(done, total, r))
-		}
-	}
-	c := eng.Run(grid, cloversim.RunScenario)
-
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
-	}
-	csvPath := filepath.Join(*out, "campaign.csv")
-	if err := emitFile(csvPath, sweep.CSVEmitter{}, c); err != nil {
-		fatal(err)
-	}
-	jsonPath := filepath.Join(*out, "campaign.json")
-	if err := emitFile(jsonPath, sweep.JSONEmitter{Indent: true}, c); err != nil {
-		fatal(err)
-	}
-
-	if !*quiet {
-		fmt.Printf("\n%s\n", c.Table().Format())
-	}
-	if err := (sweep.SummaryEmitter{Metric: *plot}).Emit(os.Stdout, c); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("wrote %s and %s\n", csvPath, jsonPath)
-	// Error isolation means the campaign always completes and both
-	// files are written — but scripts still need a failure signal.
-	if err := c.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
-	}
-}
-
-func splitList(s string) []string {
-	if strings.TrimSpace(s) == "" {
-		return nil
-	}
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-func intList(s string) ([]int, error) {
-	var out []int
-	for _, p := range splitList(s) {
-		n, err := strconv.Atoi(p)
-		if err != nil {
-			return nil, fmt.Errorf("bad list entry %q: %w", p, err)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-func emitFile(path string, e sweep.Emitter, c sweep.Campaign) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := e.Emit(f, c); err != nil {
-		return err
-	}
-	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
+	os.Exit(sweepcli.Main(os.Args[1:], os.Stdout, os.Stderr))
 }

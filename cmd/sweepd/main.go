@@ -1,0 +1,85 @@
+// Command sweepd serves a persistent campaign result store over HTTP:
+// many clients can list stored scenarios, fetch results by config
+// hash, and trigger grid expansions whose cold cells are simulated on
+// a bounded worker pool and written through to the store.
+//
+// Usage:
+//
+//	sweepd -store results/store            # serve on :8075
+//	sweepd -store results/store -addr :9000 -workers 8
+//
+// Endpoints (see internal/sweepd for the JSON shapes):
+//
+//	GET  /v1/healthz
+//	GET  /v1/scenarios
+//	GET  /v1/results/{id}
+//	POST /v1/expand
+//
+// The store directory is shared with cmd/sweep -store: campaigns run
+// offline become servable immediately, and expansions triggered over
+// HTTP warm the store for later CLI runs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cloversim"
+	"cloversim/internal/store"
+	"cloversim/internal/sweepd"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "persistent result store directory (required)")
+		addr     = flag.String("addr", ":8075", "HTTP listen address")
+		workers  = flag.Int("workers", 0, "max concurrent cold-cell simulations across all requests (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		fatal(errors.New("-store is required"))
+	}
+
+	st, err := store.Open(*storeDir, cloversim.PhysicsVersion)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: store %s: %s (physics %s)\n", *storeDir, st.Stats(), st.Physics())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           sweepd.New(st, cloversim.RunScenario, *workers).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		fmt.Fprintf(os.Stderr, "sweepd: listening on %s\n", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Fprintln(os.Stderr, "sweepd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+	}
+	if err := st.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweepd:", err)
+	os.Exit(1)
+}

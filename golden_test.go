@@ -3,6 +3,7 @@ package cloversim
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -65,11 +66,26 @@ func runGolden(t *testing.T) (csv, json []byte) {
 func TestGoldenCampaign(t *testing.T) {
 	csvPath := filepath.Join("testdata", "golden_campaign.csv")
 	jsonPath := filepath.Join("testdata", "golden_campaign.json")
+	versionPath := filepath.Join("testdata", "physics_version")
 	csv, json := runGolden(t)
 
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
+		}
+		// A fixture rewrite that changes simulated bytes under an
+		// unchanged PhysicsVersion would let the persistent store serve
+		// results from the old physics as if they were current — flag it
+		// loudly so the author bumps the constant in the same change.
+		oldCSV, csvErr := os.ReadFile(csvPath)
+		oldVersion, verErr := os.ReadFile(versionPath)
+		if csvErr == nil && verErr == nil && !bytes.Equal(oldCSV, csv) &&
+			string(bytes.TrimSpace(oldVersion)) == PhysicsVersion {
+			// Stderr, not t.Logf: the warning must be visible on a
+			// passing -update-golden run without -v.
+			fmt.Fprintf(os.Stderr, "WARNING: golden fixtures changed but PhysicsVersion is still %q — "+
+				"if this rewrite reflects a physics/model change, bump PhysicsVersion "+
+				"in scenario.go so stale store records are invalidated\n", PhysicsVersion)
 		}
 		if err := os.WriteFile(csvPath, csv, 0o644); err != nil {
 			t.Fatal(err)
@@ -77,7 +93,10 @@ func TestGoldenCampaign(t *testing.T) {
 		if err := os.WriteFile(jsonPath, json, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("rewrote %s and %s", csvPath, jsonPath)
+		if err := os.WriteFile(versionPath, []byte(PhysicsVersion+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s, %s and %s", csvPath, jsonPath, versionPath)
 		return
 	}
 
@@ -95,5 +114,21 @@ func TestGoldenCampaign(t *testing.T) {
 	}
 	if !bytes.Equal(json, wantJSON) {
 		t.Errorf("campaign JSON deviates from golden fixture %s (run with -update-golden if the change is intended)", jsonPath)
+	}
+}
+
+// TestPhysicsVersionPinned ties PhysicsVersion to the golden fixtures:
+// the constant must match the pin committed next to them, so bumping
+// one without regenerating/reviewing the other fails CI. The pin is
+// what lets the persistent store trust that two processes agreeing on
+// PhysicsVersion simulate identical physics.
+func TestPhysicsVersionPinned(t *testing.T) {
+	pin, err := os.ReadFile(filepath.Join("testdata", "physics_version"))
+	if err != nil {
+		t.Fatalf("%v (run go test -run TestGoldenCampaign -update-golden . to create the pin)", err)
+	}
+	if got := string(bytes.TrimSpace(pin)); got != PhysicsVersion {
+		t.Errorf("PhysicsVersion = %q but testdata/physics_version pins %q; "+
+			"regenerate fixtures with -update-golden when bumping the physics version", PhysicsVersion, got)
 	}
 }

@@ -1,0 +1,439 @@
+// Package store is the persistent, content-addressed campaign result
+// store: every simulated scenario is recorded once, keyed by its
+// config hash (sweep.Scenario.ID) plus the physics version of the
+// simulator that produced it, in an append-only JSONL segment format.
+//
+// It is the durability layer that turns the in-process sweep engine
+// into a resumable, servable system: cmd/sweep -store skips every
+// already-simulated cell of a campaign grid, and cmd/sweepd serves one
+// store to many concurrent HTTP clients.
+//
+// Design points:
+//
+//   - Content addressing. A record's identity is the scenario's config
+//     hash; the physics version namespaces it. Writing the same
+//     scenario twice is a no-op, so concurrent writers converge
+//     instead of conflicting.
+//   - Append-safe segments. Each record is one JSON line appended with
+//     a single O_APPEND write, so a crash can only tear the final
+//     line, never an earlier record.
+//   - Corruption-tolerant recovery. Open scans every segment and
+//     tolerates torn tails, garbage lines, duplicate records and
+//     records whose key no longer hashes to their claimed ID; damage
+//     is counted in Stats, never fatal, and never a panic.
+//   - Version hygiene. Records from other physics versions are
+//     retained on disk but never served, so bumping the version
+//     invalidates every stale result at once without deleting data.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cloversim/internal/sweep"
+)
+
+// segPattern matches segment files. Segments are scanned in lexical
+// order on Open; each process appends to a fresh, exclusively created
+// segment so two processes sharing a store directory never interleave
+// writes within one file.
+const segPattern = "seg-*.jsonl"
+
+// maxLineBytes bounds one record line during recovery, so a corrupt
+// segment full of unbroken garbage cannot balloon memory. Real records
+// are a few hundred bytes.
+const maxLineBytes = 1 << 20
+
+// Record is one stored campaign result: the scenario that produced it
+// (rebuilt from its canonical key string) and its bit-exact metrics.
+type Record struct {
+	ID       string
+	Scenario sweep.Scenario
+	Metrics  sweep.Metrics
+}
+
+// Stats summarizes what Open found while recovering a store directory.
+type Stats struct {
+	Segments   int // segment files scanned
+	Records    int // live records indexed (current physics version)
+	Stale      int // well-formed records under other physics versions
+	Corrupt    int // undecodable or integrity-failed lines skipped
+	Duplicates int // re-encounters of an already-indexed ID
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d records in %d segments (%d stale, %d corrupt, %d duplicate)",
+		s.Records, s.Segments, s.Stale, s.Corrupt, s.Duplicates)
+}
+
+// Store is a disk-backed result store. It is safe for concurrent use;
+// reads are served from an in-memory index populated at Open and kept
+// in sync by Put. Store implements sweep.Cache, so it plugs into the
+// engine as the persistent tier directly.
+type Store struct {
+	dir     string
+	physics string
+
+	mu     sync.RWMutex
+	index  map[string]Record // scenario ID -> record (current physics only)
+	active *os.File          // lazily created on first Put
+	stats  Stats
+}
+
+// Open recovers the store in dir for the given physics version,
+// creating the directory if needed. Damaged segments degrade to Stats
+// counts; only unreadable directories and I/O errors fail.
+func Open(dir, physics string) (*Store, error) {
+	if physics == "" {
+		return nil, fmt.Errorf("store: empty physics version")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, physics: physics, index: map[string]Record{}}
+	segs, err := s.segments()
+	if err != nil {
+		return nil, err
+	}
+	for _, seg := range segs {
+		if err := s.recoverSegment(seg); err != nil {
+			return nil, err
+		}
+	}
+	s.stats.Segments = len(segs)
+	s.stats.Records = len(s.index)
+	return s, nil
+}
+
+// segments lists the store's segment files in lexical (creation)
+// order.
+func (s *Store) segments() ([]string, error) {
+	segs, err := filepath.Glob(filepath.Join(s.dir, segPattern))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+// recoverSegment indexes one segment, first record per ID wins.
+// Undecodable lines — torn tails, hand edits, bit rot — are counted
+// and skipped.
+func (s *Store) recoverSegment(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 64<<10)
+	for {
+		line, err := readLine(r)
+		if len(line) > 0 {
+			switch rec, derr := DecodeRecord(line, s.physics); {
+			case derr == nil:
+				if _, dup := s.index[rec.ID]; dup {
+					s.stats.Duplicates++
+				} else {
+					s.index[rec.ID] = rec
+				}
+			case isStale(derr):
+				s.stats.Stale++
+			default:
+				s.stats.Corrupt++
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("store: reading %s: %w", path, err)
+		}
+	}
+}
+
+// readLine reads one newline-terminated line, returning it without the
+// terminator. Memory is bounded: a line longer than maxLineBytes has
+// its tail consumed but discarded, and the truncated prefix is
+// returned (it fails decoding and counts as corrupt, rather than
+// ballooning recovery memory or aborting it). io.EOF accompanies the
+// final, unterminated line.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		if len(line) < maxLineBytes {
+			line = append(line, frag...)
+			if len(line) > maxLineBytes {
+				line = line[:maxLineBytes]
+			}
+		}
+		switch err {
+		case nil:
+			if n := len(line); n > 0 && line[n-1] == '\n' {
+				line = line[:n-1]
+			}
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return line, err
+		}
+	}
+}
+
+// isStale reports whether a decode error means "fine record, other
+// physics version" rather than corruption.
+func isStale(err error) bool { _, ok := err.(*staleError); return ok }
+
+type staleError struct{ got string }
+
+func (e *staleError) Error() string { return "store: record from physics version " + e.got }
+
+// lineRecord is the JSONL wire form of one record. The scenario rides
+// as its canonical key string (sweep.ParseKey rebuilds it; the ID must
+// re-derive from it, which is the per-record integrity check). Metric
+// values ride as hex-encoded IEEE-754 bits so a round trip through the
+// store is bit-exact; the decimal form is informational for humans and
+// grep.
+type lineRecord struct {
+	ID      string       `json:"id"`
+	Physics string       `json:"phys"`
+	Key     string       `json:"key"`
+	Metrics []lineMetric `json:"metrics"`
+}
+
+type lineMetric struct {
+	Name  string  `json:"name"`
+	Bits  string  `json:"bits"`
+	Value float64 `json:"value,omitempty"`
+}
+
+// EncodeRecord renders one record as a JSONL line (newline included).
+func EncodeRecord(physics string, sc sweep.Scenario, m sweep.Metrics) ([]byte, error) {
+	lr := lineRecord{
+		ID:      sc.ID(),
+		Physics: physics,
+		Key:     sc.Key(),
+		Metrics: make([]lineMetric, 0, len(m)),
+	}
+	for _, mt := range m {
+		lm := lineMetric{Name: mt.Name, Bits: strconv.FormatUint(math.Float64bits(mt.Value), 16)}
+		// The decimal mirror is best-effort: JSON cannot carry NaN/Inf,
+		// and omitempty drops zeros — the bits field alone is
+		// authoritative.
+		if !math.IsNaN(mt.Value) && !math.IsInf(mt.Value, 0) {
+			lm.Value = mt.Value
+		}
+		lr.Metrics = append(lr.Metrics, lm)
+	}
+	buf, err := json.Marshal(lr)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode %s: %w", lr.ID, err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// DecodeRecord parses and verifies one JSONL line. It never panics on
+// arbitrary input. Beyond JSON well-formedness it enforces the store's
+// integrity invariants: the physics version must match (a mismatch is
+// the distinguished stale error), the key must parse as a canonical
+// scenario key, the scenario must hash back to the claimed ID, and
+// every metric must carry decodable bits under a non-empty name.
+func DecodeRecord(line []byte, physics string) (Record, error) {
+	var lr lineRecord
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&lr); err != nil {
+		return Record{}, fmt.Errorf("store: bad record line: %w", err)
+	}
+	if dec.More() {
+		return Record{}, fmt.Errorf("store: trailing data after record")
+	}
+	if lr.Physics != physics {
+		return Record{}, &staleError{got: lr.Physics}
+	}
+	sc, err := sweep.ParseKey(lr.Key)
+	if err != nil {
+		return Record{}, fmt.Errorf("store: record %s: %w", lr.ID, err)
+	}
+	if id := sc.ID(); id != lr.ID {
+		return Record{}, fmt.Errorf("store: record claims ID %s but its key hashes to %s", lr.ID, id)
+	}
+	m := make(sweep.Metrics, 0, len(lr.Metrics))
+	for _, lm := range lr.Metrics {
+		if lm.Name == "" {
+			return Record{}, fmt.Errorf("store: record %s: unnamed metric", lr.ID)
+		}
+		bits, err := strconv.ParseUint(lm.Bits, 16, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("store: record %s metric %s: bad bits %q", lr.ID, lm.Name, lm.Bits)
+		}
+		m.Add(lm.Name, math.Float64frombits(bits))
+	}
+	return Record{ID: lr.ID, Scenario: sc, Metrics: m}, nil
+}
+
+// Get serves a scenario's stored metrics, or ok=false when this store
+// (under this physics version) has never seen it. The returned metrics
+// are shared with the index: treat them as read-only.
+func (s *Store) Get(sc sweep.Scenario) (sweep.Metrics, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.index[sc.ID()]
+	if !ok {
+		return nil, false
+	}
+	return rec.Metrics, true
+}
+
+// Lookup serves a stored record by its config hash.
+func (s *Store) Lookup(id string) (Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.index[id]
+	return rec, ok
+}
+
+// Put durably records one scenario result. Content addressing makes it
+// idempotent: an ID already present (from this process, a previous
+// one, or a concurrent writer recovered at Open) is a successful
+// no-op, so the first write wins and the store never mutates a record.
+func (s *Store) Put(sc sweep.Scenario, m sweep.Metrics) error {
+	line, err := EncodeRecord(s.physics, sc, m)
+	if err != nil {
+		return err
+	}
+	rec := Record{ID: sc.ID(), Scenario: sc, Metrics: m}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.index[rec.ID]; dup {
+		return nil
+	}
+	if s.active == nil {
+		if err := s.createSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	// One write syscall per record: O_APPEND guarantees the line lands
+	// contiguously at the tail, so a torn write can only be a truncated
+	// final line, which recovery skips.
+	if _, err := s.active.Write(line); err != nil {
+		return fmt.Errorf("store: append %s: %w", rec.ID, err)
+	}
+	s.index[rec.ID] = rec
+	s.stats.Records = len(s.index)
+	return nil
+}
+
+// createSegmentLocked opens this process's own append segment,
+// numbered one past the highest existing segment. O_EXCL retries give
+// concurrent openers distinct files.
+func (s *Store) createSegmentLocked() error {
+	segs, err := s.segments()
+	if err != nil {
+		return err
+	}
+	next := 1
+	if len(segs) > 0 {
+		last := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(segs[len(segs)-1]), "seg-"), ".jsonl")
+		if n, err := strconv.Atoi(last); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	for try := 0; try < 1000; try, next = try+1, next+1 {
+		path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.jsonl", next))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			s.active = f
+			s.stats.Segments++
+			return nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return fmt.Errorf("store: create segment: %w", err)
+		}
+	}
+	return fmt.Errorf("store: could not claim a fresh segment in %s", s.dir)
+}
+
+// Len reports how many live records the store holds.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Stats reports recovery and occupancy counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Physics reports the version this store was opened under.
+func (s *Store) Physics() string { return s.physics }
+
+// Dir reports the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Records lists the live records sorted by canonical key — a
+// deterministic order for listings and serving.
+func (s *Store) Records() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Record, 0, len(s.index))
+	for _, rec := range s.index {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Scenario.Key() < out[j].Scenario.Key()
+	})
+	return out
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the active segment. The store must not be
+// used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	f := s.active
+	s.active = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close: %w", err)
+	}
+	return nil
+}
+
+// Interface conformance: the store is the engine's persistent tier.
+var _ sweep.Cache = (*Store)(nil)

@@ -1,0 +1,414 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"cloversim/internal/sweep"
+)
+
+func scenario(machine, workload string, seed uint64) sweep.Scenario {
+	nt, _ := sweep.ModeByName("nt")
+	return sweep.Scenario{
+		Machine:  machine,
+		Workload: workload,
+		Mode:     nt,
+		Ranks:    4,
+		Mesh:     sweep.Mesh{X: 1536, Y: 1536},
+		Threads:  8,
+		MaxRows:  8,
+		Seed:     seed,
+	}
+}
+
+func metrics(vals ...float64) sweep.Metrics {
+	var m sweep.Metrics
+	for i, v := range vals {
+		m.Add("m"+string(rune('a'+i)), v)
+	}
+	return m
+}
+
+func mustOpen(t *testing.T, dir, physics string) *Store {
+	t.Helper()
+	s, err := Open(dir, physics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// equalBits compares metrics for bit-exact equality (NaN == NaN, -0 != +0).
+func equalBits(t *testing.T, got, want sweep.Metrics) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d metrics, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name {
+			t.Errorf("metric %d name %q, want %q", i, got[i].Name, want[i].Name)
+		}
+		if gb, wb := math.Float64bits(got[i].Value), math.Float64bits(want[i].Value); gb != wb {
+			t.Errorf("metric %s bits %#x, want %#x", want[i].Name, gb, wb)
+		}
+	}
+}
+
+func TestPutGetReopenBitExact(t *testing.T) {
+	dir := t.TempDir()
+	sc := scenario("icx", "jacobi", 1)
+	// Deliberately hostile values: NaN, infinities, negative zero,
+	// denormals, and a value that needs all 17 digits in decimal.
+	m := metrics(math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1),
+		5e-324, 0.1+0.2, 14.476623456789012)
+
+	s := mustOpen(t, dir, "p1")
+	if _, ok := s.Get(sc); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	if err := s.Put(sc, m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(sc)
+	if !ok {
+		t.Fatal("Get missed a freshly Put scenario")
+	}
+	equalBits(t, got, m)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, "p1")
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store has %d records, want 1", s2.Len())
+	}
+	got, ok = s2.Get(sc)
+	if !ok {
+		t.Fatal("Get missed after reopen")
+	}
+	equalBits(t, got, m)
+	rec, ok := s2.Lookup(sc.ID())
+	if !ok || rec.Scenario != sc {
+		t.Fatalf("Lookup(%s) = %+v, %t; want original scenario back", sc.ID(), rec.Scenario, ok)
+	}
+}
+
+func TestPutIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	sc := scenario("icx", "jacobi", 1)
+	s := mustOpen(t, dir, "p1")
+	for i := 0; i < 3; i++ {
+		if err := s.Put(sc, metrics(1, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, segPattern))
+	if len(segs) != 1 {
+		t.Fatalf("%d segments, want 1", len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 1 {
+		t.Fatalf("segment holds %d lines, want 1 (Put must be a no-op on duplicates)", n)
+	}
+}
+
+func TestPhysicsVersionIsolation(t *testing.T) {
+	dir := t.TempDir()
+	sc := scenario("icx", "jacobi", 1)
+	s := mustOpen(t, dir, "p1")
+	if err := s.Put(sc, metrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// A new physics version must not serve the stale record...
+	s2 := mustOpen(t, dir, "p2")
+	if _, ok := s2.Get(sc); ok {
+		t.Fatal("p2 store served a p1 record")
+	}
+	if st := s2.Stats(); st.Stale != 1 || st.Records != 0 {
+		t.Fatalf("stats = %+v, want 1 stale, 0 records", st)
+	}
+	// ...and can record its own result for the same scenario.
+	if err := s2.Put(sc, metrics(2)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	// The original version still sees its own record, not p2's.
+	s3 := mustOpen(t, dir, "p1")
+	got, ok := s3.Get(sc)
+	if !ok {
+		t.Fatal("p1 record lost after p2 wrote")
+	}
+	equalBits(t, got, metrics(1))
+}
+
+func TestRecoveryTolerance(t *testing.T) {
+	dir := t.TempDir()
+	keep := scenario("icx", "jacobi", 1)
+	torn := scenario("icx", "stream", 2)
+	s := mustOpen(t, dir, "p1")
+	if err := s.Put(keep, metrics(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(torn, metrics(4)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, segPattern))
+	if len(segs) != 1 {
+		t.Fatalf("%d segments, want 1", len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: tear the final record's line.
+	data = data[:len(data)-7]
+	// And a separate segment of assorted damage: garbage, a record
+	// whose key does not hash to its ID, an overlong line, and an
+	// unterminated tail.
+	evil := scenario("spr8480", "jacobi", 3)
+	evilLine, err := EncodeRecord("p1", evil, metrics(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := strings.Replace(string(evilLine), `"id":"`+evil.ID()+`"`, `"id":"000000000000"`, 1)
+	damage := "not json at all\n" +
+		forged +
+		"{\"id\":\"deadbeef\"," + strings.Repeat("x", maxLineBytes+4096) + "\n" +
+		string(evilLine) +
+		"{\"id\":\"trunc" // torn tail, no newline
+	if err := os.WriteFile(data2path(dir), []byte(damage), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, "p1")
+	st := s2.Stats()
+	if s2.Len() != 2 {
+		t.Fatalf("recovered %d records (%s), want 2 (keep + evil)", s2.Len(), st)
+	}
+	if _, ok := s2.Get(keep); !ok {
+		t.Error("intact record lost in recovery")
+	}
+	if _, ok := s2.Get(evil); !ok {
+		t.Error("valid record after damage lost in recovery")
+	}
+	if _, ok := s2.Get(torn); ok {
+		t.Error("torn record served")
+	}
+	// Five corrupt lines: the torn tail of segment one, then garbage,
+	// the forged ID, the overlong line and the unterminated tail of the
+	// damage segment.
+	if st.Corrupt != 5 {
+		t.Errorf("stats report %s, want 5 corrupt", st)
+	}
+}
+
+// data2path names the damage segment so it sorts after the real one.
+func data2path(dir string) string { return filepath.Join(dir, "seg-999999.jsonl") }
+
+func TestDuplicateAcrossSegmentsFirstWins(t *testing.T) {
+	dir := t.TempDir()
+	sc := scenario("icx", "jacobi", 1)
+	s := mustOpen(t, dir, "p1")
+	if err := s.Put(sc, metrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// A second writer (different process) records the same scenario
+	// with different bytes — first segment wins on recovery.
+	line, err := EncodeRecord("p1", sc, metrics(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(data2path(dir), line, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, "p1")
+	if st := s2.Stats(); st.Duplicates != 1 || st.Records != 1 {
+		t.Fatalf("stats = %s, want 1 record 1 duplicate", st)
+	}
+	got, _ := s2.Get(sc)
+	equalBits(t, got, metrics(1))
+}
+
+func TestSeparateOpensUseSeparateSegments(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, "p1")
+	if err := a.Put(scenario("icx", "jacobi", 1), metrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	b := mustOpen(t, dir, "p1")
+	if err := b.Put(scenario("icx", "stream", 2), metrics(2)); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, segPattern))
+	if len(segs) != 2 {
+		t.Fatalf("%d segments, want 2 (one per writer)", len(segs))
+	}
+	s := mustOpen(t, dir, "p1")
+	if s.Len() != 2 {
+		t.Fatalf("recovered %d records across segments, want 2", s.Len())
+	}
+}
+
+func TestRecordsDeterministicOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, "p1")
+	scs := []sweep.Scenario{
+		scenario("spr8480", "stream", 3),
+		scenario("icx", "jacobi", 1),
+		scenario("icx", "stream", 2),
+	}
+	for _, sc := range scs {
+		if err := s.Put(sc, metrics(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := s.Records()
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Scenario.Key() >= recs[i].Scenario.Key() {
+			t.Fatalf("Records not sorted by key at %d", i)
+		}
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, "p1")
+	const writers, readers, n = 4, 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				// Overlapping seed ranges force concurrent duplicate Puts.
+				sc := scenario("icx", "jacobi", uint64(i))
+				if err := s.Put(sc, metrics(float64(i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				sc := scenario("icx", "jacobi", uint64(i))
+				if m, ok := s.Get(sc); ok && len(m) != 1 {
+					t.Errorf("Get(%d) returned %d metrics", i, len(m))
+					return
+				}
+				s.Records()
+				s.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != n {
+		t.Fatalf("store holds %d records, want %d", s.Len(), n)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, "p1")
+	if s2.Len() != n {
+		t.Fatalf("reopen holds %d records, want %d (duplicate suppression failed)", s2.Len(), n)
+	}
+}
+
+func TestOpenRejectsEmptyPhysics(t *testing.T) {
+	if _, err := Open(t.TempDir(), ""); err == nil {
+		t.Fatal("Open with empty physics version succeeded")
+	}
+}
+
+func TestAccessorsAndSync(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, "p1")
+	if s.Physics() != "p1" || s.Dir() != dir {
+		t.Fatalf("accessors: physics %q dir %q", s.Physics(), s.Dir())
+	}
+	if err := s.Sync(); err != nil { // no active segment yet
+		t.Fatal(err)
+	}
+	if err := s.Put(scenario("icx", "jacobi", 1), metrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().String(); !strings.Contains(got, "1 records in 1 segments") {
+		t.Fatalf("Stats.String() = %q", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestOpenFailsOnUnusableDir(t *testing.T) {
+	dir := t.TempDir()
+	// A regular file where the store directory should be.
+	path := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, "p1"); err == nil {
+		t.Fatal("Open on a file path succeeded")
+	}
+	if _, err := Open(filepath.Join(path, "sub"), "p1"); err == nil {
+		t.Fatal("Open under a file path succeeded")
+	}
+}
+
+func TestStaleErrorMessage(t *testing.T) {
+	line, err := EncodeRecord("p9", scenario("icx", "jacobi", 1), metrics(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, derr := DecodeRecord(line[:len(line)-1], "p1")
+	if !isStale(derr) || !strings.Contains(derr.Error(), "p9") {
+		t.Fatalf("stale decode error = %v", derr)
+	}
+}
+
+func TestSegmentNumberingSkipsForeignNames(t *testing.T) {
+	dir := t.TempDir()
+	// A foreign file matching the glob but not the numbering scheme
+	// must not break segment claiming.
+	if err := os.WriteFile(filepath.Join(dir, "seg-zzz.jsonl"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, "p1")
+	if err := s.Put(scenario("icx", "jacobi", 1), metrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := os.Stat(filepath.Join(dir, "seg-000001.jsonl")); err != nil {
+		t.Fatalf("expected seg-000001.jsonl: %v", err)
+	}
+}

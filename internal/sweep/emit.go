@@ -18,16 +18,15 @@ type Emitter interface {
 // Table renders the campaign as a csvout table: scenario identity
 // columns followed by the union of metric columns (first-appearance
 // order); failed scenarios carry their error in the status column and
-// blank metric cells.
+// blank metric cells. Cache provenance (Result.Cached) deliberately
+// does not appear: a resumed campaign served from the persistent store
+// must render byte-identically to the cold run that populated it.
 func (c Campaign) Table() *csvout.Table {
 	metrics := c.MetricNames()
 	header := append([]string{"id", "machine", "workload", "mode", "ranks", "mesh", "threads", "status"}, metrics...)
 	t := csvout.New(header...)
 	for _, r := range c.Results {
 		status := "ok"
-		if r.Cached {
-			status = "cached"
-		}
 		if r.Err != nil {
 			status = "error: " + r.Err.Error()
 		}
@@ -57,6 +56,8 @@ type jsonMetric struct {
 	Value float64 `json:"value"`
 }
 
+// jsonResult carries no cache-provenance field: warm (store-served)
+// and cold campaigns must encode byte-identically.
 type jsonResult struct {
 	ID       string       `json:"id"`
 	Machine  string       `json:"machine"`
@@ -66,7 +67,6 @@ type jsonResult struct {
 	Mesh     string       `json:"mesh"`
 	Threads  int          `json:"threads"`
 	Seed     uint64       `json:"seed"`
-	Cached   bool         `json:"cached,omitempty"`
 	Error    string       `json:"error,omitempty"`
 	Metrics  []jsonMetric `json:"metrics,omitempty"`
 }
@@ -99,7 +99,6 @@ func (e JSONEmitter) Emit(w io.Writer, c Campaign) error {
 			Mesh:     r.Scenario.Mesh.String(),
 			Threads:  r.Scenario.Threads,
 			Seed:     r.Scenario.Seed,
-			Cached:   r.Cached,
 		}
 		if r.Err != nil {
 			jr.Error = r.Err.Error()
@@ -126,19 +125,18 @@ type SummaryEmitter struct {
 }
 
 func (e SummaryEmitter) Emit(w io.Writer, c Campaign) error {
-	ok, cached, failed := 0, 0, 0
+	// ok counts cache-served results too: summary output, like every
+	// emitter, must not distinguish warm campaigns from cold ones.
+	ok, failed := 0, 0
 	for _, r := range c.Results {
-		switch {
-		case r.Err != nil:
+		if r.Err != nil {
 			failed++
-		case r.Cached:
-			cached++
-		default:
+		} else {
 			ok++
 		}
 	}
-	fmt.Fprintf(w, "campaign: %d scenarios (%d ok, %d cached, %d failed)\n",
-		len(c.Results), ok, cached, failed)
+	fmt.Fprintf(w, "campaign: %d scenarios (%d ok, %d failed)\n",
+		len(c.Results), ok, failed)
 	for _, r := range c.Failed() {
 		fmt.Fprintf(w, "  FAILED %s %s: %v\n", r.ID, r.Scenario.Label(), r.Err)
 	}

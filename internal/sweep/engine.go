@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -46,6 +47,11 @@ type Runner func(Scenario) (Metrics, error)
 // Campaign is an executed grid: results in deterministic grid order.
 type Campaign struct {
 	Results []Result
+	// CacheErr aggregates persistence failures from the engine's
+	// second-tier Cache (store writes). It is separate from scenario
+	// errors: the simulations succeeded, but their results were not
+	// durably recorded, so a resumed campaign would re-run them.
+	CacheErr error
 }
 
 // Failed returns the results that carry errors.
@@ -87,12 +93,28 @@ func (c Campaign) MetricNames() []string {
 	return names
 }
 
+// Cache is the engine's optional second result tier behind the
+// in-memory memoizer — typically a persistent, content-addressed store
+// (internal/store) that survives the process and makes campaigns
+// resumable. Get is consulted once per novel config hash before the
+// scenario is scheduled; Put is called once per freshly simulated
+// success. Implementations must be safe for concurrent use.
+type Cache interface {
+	Get(Scenario) (Metrics, bool)
+	Put(Scenario, Metrics) error
+}
+
 // Engine executes campaigns on a bounded worker pool with per-scenario
 // result caching. The zero value is usable; Workers defaults to
 // runtime.GOMAXPROCS(0).
 type Engine struct {
 	// Workers bounds concurrent scenario executions.
 	Workers int
+	// Cache, when set, is the persistent second tier behind the
+	// in-memory memoizer: hits skip simulation entirely (Result.Cached),
+	// fresh successes are written through. Put errors do not fail
+	// scenarios; they aggregate into Campaign.CacheErr.
+	Cache Cache
 	// Progress, when set, is called once per finalized scenario (from
 	// worker goroutines, serialized by the engine, without holding the
 	// engine lock — calling back into the engine is safe). Completion
@@ -125,8 +147,9 @@ func (e *Engine) Run(g Grid, run Runner) Campaign {
 // RunScenarios executes an explicit scenario list. Scenarios run
 // concurrently (bounded by Workers) but the returned results are in
 // input order. A scenario whose config hash was already executed — in
-// this campaign or a previous one on the same engine — is served from
-// cache; a scenario that fails is reported in its Result without
+// this campaign, a previous one on the same engine, or (when Cache is
+// set) any prior process that wrote the persistent store — is served
+// from cache; a scenario that fails is reported in its Result without
 // aborting the rest.
 func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
 	workers := e.Workers
@@ -160,10 +183,33 @@ func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
 		exec = append(exec, i)
 	}
 	e.mu.Unlock()
+
+	// Second tier: probe the persistent cache for memoizer misses,
+	// outside the engine lock (Cache implementations take their own
+	// locks and may be arbitrary user code). Warm hits skip simulation
+	// and seed the memoizer for in-campaign duplicates.
+	if e.Cache != nil {
+		cold := exec[:0]
+		for _, i := range exec {
+			if m, hit := e.Cache.Get(scenarios[i]); hit {
+				results[i].Metrics = m
+				results[i].Cached = true
+				e.mu.Lock()
+				e.cache[results[i].ID] = m
+				e.mu.Unlock()
+				hits = append(hits, i)
+				continue
+			}
+			cold = append(cold, i)
+		}
+		exec = cold
+	}
 	for _, i := range hits {
 		e.progress(total, results[i])
 	}
 
+	var putMu sync.Mutex
+	var putErrs []error
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for _, i := range exec {
@@ -181,6 +227,17 @@ func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
 			}
 			r := results[i]
 			e.mu.Unlock()
+			if err == nil && e.Cache != nil {
+				// Write-through to the persistent tier, outside the
+				// engine lock. A failed Put degrades resumability, not
+				// the scenario: the result stands, the error aggregates.
+				if perr := e.Cache.Put(scenarios[i], m); perr != nil {
+					putMu.Lock()
+					putErrs = append(putErrs, fmt.Errorf("sweep: store %s (%s): %w",
+						r.ID, scenarios[i].Label(), perr))
+					putMu.Unlock()
+				}
+			}
 			e.progress(total, r)
 		}(i)
 	}
@@ -196,7 +253,7 @@ func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
 		results[i].Cached = true
 		e.progress(total, results[i])
 	}
-	return Campaign{Results: results}
+	return Campaign{Results: results, CacheErr: errors.Join(putErrs...)}
 }
 
 // progress finalizes one scenario's done count and fires the Progress

@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// keyFields is the exact field sequence Scenario.Key emits. ParseKey
+// rejects any deviation, so a key string is either canonical or an
+// error — there is no lenient middle ground for the store's integrity
+// check to miss.
+var keyFields = []string{
+	"machine", "workload", "mode", "nt", "opt", "i2moff", "pfoff",
+	"ranks", "mesh", "threads", "maxrows", "seed",
+}
+
+// ParseKey inverts Scenario.Key: it parses the canonical configuration
+// string back into a Scenario. The persistent result store uses it to
+// rebuild scenarios from stored records and to reject records whose key
+// no longer hashes to their claimed ID (bit rot, hand edits, torn
+// writes).
+//
+// Keys are canonical only for machine/workload/mode names without
+// whitespace or '=' — which registry names guarantee. ParseKey never
+// panics; malformed input returns an error.
+func ParseKey(key string) (Scenario, error) {
+	var s Scenario
+	tokens := strings.Split(key, " ")
+	if len(tokens) != len(keyFields) {
+		return Scenario{}, fmt.Errorf("sweep: key has %d fields, want %d", len(tokens), len(keyFields))
+	}
+	vals := make(map[string]string, len(keyFields))
+	for i, tok := range tokens {
+		name, val, ok := strings.Cut(tok, "=")
+		if !ok || name != keyFields[i] {
+			return Scenario{}, fmt.Errorf("sweep: key field %d is %q, want %q=...", i, tok, keyFields[i])
+		}
+		vals[name] = val
+	}
+
+	s.Machine = vals["machine"]
+	s.Workload = vals["workload"]
+	s.Mode.Name = vals["mode"]
+	var err error
+	parseBool := func(field string, dst *bool) {
+		if err != nil {
+			return
+		}
+		v, e := strconv.ParseBool(vals[field])
+		if e != nil {
+			err = fmt.Errorf("sweep: key field %s=%q: %v", field, vals[field], e)
+			return
+		}
+		*dst = v
+	}
+	parseInt := func(field string, dst *int) {
+		if err != nil {
+			return
+		}
+		v, e := strconv.Atoi(vals[field])
+		if e != nil {
+			err = fmt.Errorf("sweep: key field %s=%q: %v", field, vals[field], e)
+			return
+		}
+		*dst = v
+	}
+	parseBool("nt", &s.Mode.NTStores)
+	parseBool("opt", &s.Mode.OptimizeLoops)
+	parseBool("i2moff", &s.Mode.SpecI2MOff)
+	parseBool("pfoff", &s.Mode.PFOff)
+	parseInt("ranks", &s.Ranks)
+	parseInt("threads", &s.Threads)
+	parseInt("maxrows", &s.MaxRows)
+	if err != nil {
+		return Scenario{}, err
+	}
+
+	if mesh := vals["mesh"]; mesh != "default" {
+		m, e := ParseMesh(mesh)
+		if e != nil {
+			return Scenario{}, fmt.Errorf("sweep: key field mesh=%q: %v", mesh, e)
+		}
+		s.Mesh = m
+	}
+
+	seed := vals["seed"]
+	if !strings.HasPrefix(seed, "0x") {
+		return Scenario{}, fmt.Errorf("sweep: key field seed=%q: want 0x-prefixed hex", seed)
+	}
+	v, e := strconv.ParseUint(seed[2:], 16, 64)
+	if e != nil {
+		return Scenario{}, fmt.Errorf("sweep: key field seed=%q: %v", seed, e)
+	}
+	s.Seed = v
+	return s, nil
+}

@@ -74,6 +74,35 @@ func ModeByName(name string) (Mode, bool) {
 // package state: treat it as read-only.
 func ModeNames() []string { return modeNames }
 
+// ModesByName resolves a list of mode names into a fresh Mode slice —
+// the shared axis validation behind cmd/sweep -modes and the sweepd
+// grid spec, so the two surfaces cannot drift.
+func ModesByName(names []string) ([]Mode, error) {
+	var out []Mode
+	for _, name := range names {
+		m, ok := ModeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown mode %q (have %v)", name, modeNames)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ParseMeshes parses a list of WxH strings — the shared mesh-axis
+// validation behind cmd/sweep -mesh and the sweepd grid spec.
+func ParseMeshes(ss []string) ([]Mesh, error) {
+	var out []Mesh
+	for _, s := range ss {
+		m, err := ParseMesh(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
 // Mesh is a global problem size; the zero value means the paper's
 // default 15360^2 grid.
 type Mesh struct {

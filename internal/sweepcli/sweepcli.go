@@ -1,0 +1,228 @@
+// Package sweepcli is the cmd/sweep program as a library: flag
+// parsing, grid construction, engine execution, emitter output and
+// exit-code policy, runnable in-process against injected streams and
+// runners so the end-to-end test harness can golden-compare real CLI
+// behavior (and count simulations) without spawning a process.
+package sweepcli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"cloversim"
+	"cloversim/internal/machine"
+	"cloversim/internal/store"
+	"cloversim/internal/sweep"
+	"cloversim/internal/workload"
+)
+
+// Exit codes. Scenario failures and I/O failures are runtime errors
+// (1); unparseable flags and unknown axis values are usage errors (2).
+const (
+	ExitOK      = 0
+	ExitRuntime = 1
+	ExitUsage   = 2
+)
+
+// Main runs the sweep CLI against the production runner and physics.
+func Main(argv []string, stdout, stderr io.Writer) int {
+	return MainWithRunner(argv, stdout, stderr, cloversim.RunScenario)
+}
+
+// MainWithRunner is Main with an injectable scenario runner — the seam
+// the e2e harness uses to prove a warm store performs zero simulation
+// work.
+func MainWithRunner(argv []string, stdout, stderr io.Writer, runner sweep.Runner) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		machines  = fs.String("machines", "all", "comma-separated machine presets, or all of "+strings.Join(machine.Names(), ","))
+		workloads = fs.String("workloads", "all", "comma-separated workloads, or all of "+strings.Join(workload.Names(), ","))
+		modes     = fs.String("modes", "all", "comma-separated evasion modes, or all of "+strings.Join(sweep.ModeNames(), ","))
+		ranks     = fs.String("ranks", "", "comma-separated rank counts (default: full node)")
+		threads   = fs.String("threads", "", "comma-separated microbenchmark core counts (default: full node)")
+		mesh      = fs.String("mesh", "", "comma-separated problem sizes WxH (default: 15360x15360)")
+		maxRows   = fs.Int("maxrows", 0, "y-extent truncation (0 = fast default 32, -1 = paper-faithful full extent)")
+		seed      = fs.Uint64("seed", 0, "deterministic PRNG seed (0 = default)")
+		workers   = fs.Int("workers", 0, "max concurrent scenarios (0 = GOMAXPROCS)")
+		out       = fs.String("out", "results/sweep", "output directory for campaign.csv and campaign.json")
+		storeDir  = fs.String("store", "", "persistent result store directory; already-simulated scenarios are served from it and fresh results are recorded, making campaigns resumable")
+		plot      = fs.String("plot", "store_ratio", "metric for the ASCII summary chart (empty = first metric)")
+		quiet     = fs.Bool("q", false, "suppress per-scenario progress and the result table")
+	)
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return ExitOK
+		}
+		return ExitUsage
+	}
+
+	grid := cloversim.CampaignGrid(*seed)
+	grid.MaxRows = *maxRows
+	if *machines != "all" {
+		grid.Machines = splitList(*machines)
+	}
+	if *workloads != "all" {
+		grid.Workloads = splitList(*workloads)
+	}
+	if err := workload.ValidateAxes(grid.Machines, grid.Workloads); err != nil {
+		return usage(stderr, err)
+	}
+	if *modes != "all" {
+		// ModesByName builds a fresh slice: grid.Modes otherwise
+		// aliases the shared sweep.AllModes backing array, which a
+		// reslice-append would corrupt.
+		picked, err := sweep.ModesByName(splitList(*modes))
+		if err != nil {
+			return usage(stderr, err)
+		}
+		grid.Modes = picked
+	}
+	var err error
+	if grid.Ranks, err = intList(*ranks); err != nil {
+		return usage(stderr, err)
+	}
+	if grid.Threads, err = intList(*threads); err != nil {
+		return usage(stderr, err)
+	}
+	if grid.Meshes, err = sweep.ParseMeshes(splitList(*mesh)); err != nil {
+		return usage(stderr, err)
+	}
+
+	eng := sweep.NewEngine(*workers)
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, cloversim.PhysicsVersion)
+		if err != nil {
+			return runtimeErr(stderr, err)
+		}
+		// Belt for the early-return paths below; the success path
+		// Closes explicitly (Close is idempotent) so sync errors reach
+		// the exit code.
+		defer st.Close()
+		if stats := st.Stats(); stats.Corrupt > 0 {
+			// Corruption is survivable but worth a trace on stderr
+			// (stdout stays byte-identical between cold and warm runs).
+			// Duplicates are NOT damage: concurrent writers converging
+			// on the same scenario is the store's documented behavior.
+			fmt.Fprintf(stderr, "sweep: store %s recovered with damage: %s\n", *storeDir, stats)
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "store: %s holds %d results under physics %s\n",
+				*storeDir, st.Len(), cloversim.PhysicsVersion)
+		}
+		eng.Cache = st
+	}
+	if !*quiet {
+		nw := *workers
+		if nw <= 0 {
+			nw = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(stdout, "sweep: %d scenarios (%d machines x %d workloads x %d modes), %d workers\n",
+			grid.Size(), len(grid.Machines), len(grid.Workloads), len(grid.Modes), nw)
+		eng.Progress = func(done, total int, r sweep.Result) {
+			fmt.Fprintln(stdout, sweep.ProgressLine(done, total, r))
+		}
+	}
+	c := eng.Run(grid, runner)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return runtimeErr(stderr, err)
+	}
+	csvPath := filepath.Join(*out, "campaign.csv")
+	if err := emitFile(csvPath, sweep.CSVEmitter{}, c); err != nil {
+		return runtimeErr(stderr, err)
+	}
+	jsonPath := filepath.Join(*out, "campaign.json")
+	if err := emitFile(jsonPath, sweep.JSONEmitter{Indent: true}, c); err != nil {
+		return runtimeErr(stderr, err)
+	}
+
+	if !*quiet {
+		fmt.Fprintf(stdout, "\n%s\n", c.Table().Format())
+	}
+	if err := (sweep.SummaryEmitter{Metric: *plot}).Emit(stdout, c); err != nil {
+		return runtimeErr(stderr, err)
+	}
+	fmt.Fprintf(stdout, "wrote %s and %s\n", csvPath, jsonPath)
+
+	code := ExitOK
+	if c.CacheErr != nil {
+		// Results were computed and emitted, but the store did not
+		// durably record them: a resumed campaign would re-simulate.
+		// Scripts must see that.
+		fmt.Fprintln(stderr, "sweep: store writes failed:", c.CacheErr)
+		code = ExitRuntime
+	}
+	if st != nil {
+		// Explicit Close: a failed sync (EIO/ENOSPC surfacing at
+		// fsync) means the records are not durable, which breaks the
+		// resumability contract just like a failed Put.
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(stderr, "sweep:", err)
+			code = ExitRuntime
+		}
+	}
+	// Error isolation means the campaign always completes and both
+	// files are written — but scripts still need a failure signal:
+	// any failed scenario makes the exit code non-zero.
+	if err := c.Err(); err != nil {
+		fmt.Fprintln(stderr, "sweep:", err)
+		code = ExitRuntime
+	}
+	return code
+}
+
+func usage(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "sweep:", err)
+	return ExitUsage
+}
+
+func runtimeErr(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "sweep:", err)
+	return ExitRuntime
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func intList(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad list entry %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func emitFile(path string, e sweep.Emitter, c sweep.Campaign) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := e.Emit(f, c); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,243 @@
+// Package sweepd is the campaign result server behind cmd/sweepd: it
+// exposes one persistent content-addressed store (internal/store) to
+// many concurrent HTTP clients — listing stored scenarios, serving
+// results by config hash, and expanding whole campaign grids where
+// warm cells come straight from the store and cold cells are simulated
+// on a bounded worker pool and written through.
+//
+// API (all JSON):
+//
+//	GET  /v1/healthz        liveness + store occupancy
+//	GET  /v1/scenarios      every stored record, deterministic key order
+//	GET  /v1/results/{id}   one record by scenario config hash
+//	POST /v1/expand         expand a grid: warm from store, simulate cold
+//
+// The expand response uses the exact campaign JSON format cmd/sweep
+// writes to campaign.json, so clients can treat the daemon as a remote
+// sweep.
+package sweepd
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+
+	"cloversim/internal/store"
+	"cloversim/internal/sweep"
+	"cloversim/internal/workload"
+)
+
+// maxCells bounds one expand request, so a typo'd grid cannot wedge
+// the daemon behind a million simulations.
+const maxCells = 4096
+
+// Server serves one store. Create with New; safe for concurrent use.
+type Server struct {
+	st     *store.Store
+	eng    *sweep.Engine
+	runner sweep.Runner
+	sem    chan struct{}
+}
+
+// New wires a server onto an open store. The runner simulates cold
+// cells; workers bounds simulation concurrency globally across all
+// in-flight expand requests (<= 0 means GOMAXPROCS). Results of cold
+// simulations are written through to the store.
+func New(st *store.Store, runner sweep.Runner, workers int) *Server {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{st: st, sem: make(chan struct{}, workers)}
+	s.eng = sweep.NewEngine(workers)
+	s.eng.Cache = st
+	// The engine bounds workers per campaign; the semaphore bounds the
+	// whole daemon, so concurrent expand requests share one simulation
+	// budget instead of multiplying it.
+	s.runner = func(sc sweep.Scenario) (sweep.Metrics, error) {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		return runner(sc)
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("POST /v1/expand", s.handleExpand)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+type healthResponse struct {
+	OK      bool   `json:"ok"`
+	Physics string `json:"physics"`
+	Records int    `json:"records"`
+	Stats   string `json:"stats"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		OK:      true,
+		Physics: s.st.Physics(),
+		Records: s.st.Len(),
+		Stats:   s.st.Stats().String(),
+	})
+}
+
+// jsonMetric/jsonRecord mirror the store's wire form: decimal value
+// for humans, IEEE-754 bits for clients that need the exact float.
+type jsonMetric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Bits  string  `json:"bits"`
+}
+
+type jsonRecord struct {
+	ID       string       `json:"id"`
+	Key      string       `json:"key"`
+	Machine  string       `json:"machine"`
+	Workload string       `json:"workload,omitempty"`
+	Mode     string       `json:"mode"`
+	Ranks    int          `json:"ranks"`
+	Mesh     string       `json:"mesh"`
+	Threads  int          `json:"threads"`
+	Seed     uint64       `json:"seed"`
+	Metrics  []jsonMetric `json:"metrics,omitempty"`
+}
+
+func toJSONRecord(rec store.Record) jsonRecord {
+	jr := jsonRecord{
+		ID:       rec.ID,
+		Key:      rec.Scenario.Key(),
+		Machine:  rec.Scenario.Machine,
+		Workload: rec.Scenario.Workload,
+		Mode:     rec.Scenario.Mode.Name,
+		Ranks:    rec.Scenario.Ranks,
+		Mesh:     rec.Scenario.Mesh.String(),
+		Threads:  rec.Scenario.Threads,
+		Seed:     rec.Scenario.Seed,
+	}
+	for _, m := range rec.Metrics {
+		jr.Metrics = append(jr.Metrics, jsonMetric{
+			Name:  m.Name,
+			Value: m.Value,
+			Bits:  fmt.Sprintf("%016x", math.Float64bits(m.Value)),
+		})
+	}
+	return jr
+}
+
+type scenariosResponse struct {
+	Physics   string       `json:"physics"`
+	Count     int          `json:"count"`
+	Scenarios []jsonRecord `json:"scenarios"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	recs := s.st.Records()
+	resp := scenariosResponse{
+		Physics:   s.st.Physics(),
+		Count:     len(recs),
+		Scenarios: make([]jsonRecord, 0, len(recs)),
+	}
+	for _, rec := range recs {
+		resp.Scenarios = append(resp.Scenarios, toJSONRecord(rec))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.st.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no stored result for config hash %q under physics %s", id, s.st.Physics())
+		return
+	}
+	writeJSON(w, http.StatusOK, toJSONRecord(rec))
+}
+
+// GridSpec is the expand request body: the same axes cmd/sweep's flags
+// declare, with modes and meshes by name. Empty axes mean the runner
+// default, exactly as in sweep.Grid.
+type GridSpec struct {
+	Machines  []string `json:"machines"`
+	Workloads []string `json:"workloads"`
+	Modes     []string `json:"modes"`
+	Ranks     []int    `json:"ranks"`
+	Meshes    []string `json:"meshes"`
+	Threads   []int    `json:"threads"`
+	MaxRows   int      `json:"maxrows"`
+	Seed      uint64   `json:"seed"`
+}
+
+// Grid validates the spec and resolves it, through the same shared
+// axis validators cmd/sweep's flags use, so the CLI and the HTTP API
+// accept identical grids.
+func (g GridSpec) Grid() (sweep.Grid, error) {
+	grid := sweep.Grid{
+		Machines:  g.Machines,
+		Workloads: g.Workloads,
+		Ranks:     g.Ranks,
+		Threads:   g.Threads,
+		MaxRows:   g.MaxRows,
+		Seed:      g.Seed,
+	}
+	if err := workload.ValidateAxes(g.Machines, g.Workloads); err != nil {
+		return sweep.Grid{}, err
+	}
+	var err error
+	if grid.Modes, err = sweep.ModesByName(g.Modes); err != nil {
+		return sweep.Grid{}, err
+	}
+	if grid.Meshes, err = sweep.ParseMeshes(g.Meshes); err != nil {
+		return sweep.Grid{}, err
+	}
+	return grid, nil
+}
+
+func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	var spec GridSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad grid spec: %v", err)
+		return
+	}
+	grid, err := spec.Grid()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if n := grid.Size(); n > maxCells {
+		writeError(w, http.StatusBadRequest, "grid has %d cells, limit %d", n, maxCells)
+		return
+	}
+	c := s.eng.Run(grid, s.runner)
+	w.Header().Set("Content-Type", "application/json")
+	if c.CacheErr != nil {
+		// The campaign is correct — the durability loss is server-side.
+		// Discarding computed results would only force clients into a
+		// re-simulation loop, so serve them and flag the loss in a
+		// header (headers must precede the body).
+		w.Header().Set("X-Store-Error", "store writes failed; results not persisted")
+	}
+	w.WriteHeader(http.StatusOK)
+	sweep.JSONEmitter{Indent: true}.Emit(w, c)
+}

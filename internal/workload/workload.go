@@ -114,6 +114,24 @@ func Names() []string {
 // runs: the paper's own subject.
 const DefaultName = "cloverleaf"
 
+// ValidateAxes checks machine and workload axis values against their
+// registries — the shared grid validation behind cmd/sweep's flags and
+// sweepd's grid spec, so the CLI and the HTTP API accept identical
+// grids.
+func ValidateAxes(machines, workloads []string) error {
+	for _, m := range machines {
+		if _, ok := machine.ByName(m); !ok {
+			return fmt.Errorf("unknown machine %q (have %v)", m, machine.Names())
+		}
+	}
+	for _, w := range workloads {
+		if _, ok := ByName(w); !ok {
+			return fmt.Errorf("unknown workload %q (have %v)", w, Names())
+		}
+	}
+	return nil
+}
+
 // Resolve maps a sweep scenario onto (workload, config), applying the
 // runner defaults: empty workload name means DefaultName, zero
 // rank/thread counts mean the full node, a zero mesh means the

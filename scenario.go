@@ -6,6 +6,20 @@ import (
 	"cloversim/internal/workload"
 )
 
+// PhysicsVersion tags every persisted campaign result with the
+// semantic version of the simulation physics: the memsim hierarchy,
+// the write-allocate store engine, the analytic models and the
+// workload traffic generators. The persistent result store
+// (internal/store) refuses to serve records written under a different
+// version, so stale results can never masquerade as current ones.
+//
+// Bump it whenever a change alters simulated results — exactly the
+// changes the golden-campaign suite catches as fixture diffs. The pin
+// in testdata/physics_version (checked by TestPhysicsVersionPinned,
+// rewritten by -update-golden) ties the two together: regenerating the
+// golden fixtures forces this constant into the review diff.
+const PhysicsVersion = "p1"
+
 // RunScenario executes one sweep scenario through the workload
 // registry: the scenario's workload (default: the CloverLeaf study)
 // resolved by name, with runner defaults applied for unset axes. It is
