@@ -19,8 +19,17 @@
 // With -store, every simulated result is appended to a persistent
 // content-addressed store and every already-stored scenario is served
 // from it: re-running a campaign performs zero simulation work and
-// emits byte-identical output. The exit code is non-zero when any
-// scenario fails or store writes fail.
+// emits byte-identical output.
+//
+// Ctrl-C (SIGINT) or SIGTERM interrupts a campaign cleanly: running
+// scenarios finish and persist, unstarted ones are skipped, and the
+// partial campaign is emitted before exit.
+//
+// Exit codes: 0 = campaign complete and durable; 1 = runtime failure
+// (a scenario failed, output I/O failed, or store writes/sync failed);
+// 2 = usage error; 3 = interrupted — partial results emitted and, with
+// -store, persisted, so re-running the same command resumes the
+// campaign.
 //
 // The program logic lives in internal/sweepcli, where the e2e test
 // harness runs it in-process.

@@ -7,6 +7,7 @@
 //
 //	sweepd -store results/store            # serve on :8075
 //	sweepd -store results/store -addr :9000 -workers 8
+//	sweepd -store results/store -expand-timeout 2m
 //
 // Endpoints (see internal/sweepd for the JSON shapes):
 //
@@ -14,6 +15,17 @@
 //	GET  /v1/scenarios
 //	GET  /v1/results/{id}
 //	POST /v1/expand
+//
+// Expand requests are cancellation-correct: a client that disconnects
+// mid-expand stops the server scheduling that grid's remaining cold
+// cells and releases its simulation slots immediately, and
+// -expand-timeout (0 = off) bounds each request server-side.
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the daemon stops accepting
+// connections, drains in-flight requests (up to -drain-timeout), then
+// cancels whatever is still simulating, and finally syncs and closes
+// the store so every completed result is durable. A second signal
+// skips the drain and aborts in-flight expands at once.
 //
 // The store directory is shared with cmd/sweep -store: campaigns run
 // offline become servable immediately, and expansions triggered over
@@ -25,6 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,9 +51,11 @@ import (
 
 func main() {
 	var (
-		storeDir = flag.String("store", "", "persistent result store directory (required)")
-		addr     = flag.String("addr", ":8075", "HTTP listen address")
-		workers  = flag.Int("workers", 0, "max concurrent cold-cell simulations across all requests (0 = GOMAXPROCS)")
+		storeDir      = flag.String("store", "", "persistent result store directory (required)")
+		addr          = flag.String("addr", ":8075", "HTTP listen address")
+		workers       = flag.Int("workers", 0, "max concurrent cold-cell simulations across all requests (0 = GOMAXPROCS)")
+		expandTimeout = flag.Duration("expand-timeout", 0, "per-request deadline for POST /v1/expand (0 = no server-side deadline)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before aborting them")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -53,10 +68,19 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sweepd: store %s: %s (physics %s)\n", *storeDir, st.Stats(), st.Physics())
 
+	server := sweepd.New(st, cloversim.RunScenarioContext, *workers)
+	server.ExpandTimeout = *expandTimeout
+
+	// Every request context descends from baseCtx, so cancelling it
+	// aborts in-flight expands: their engines stop scheduling cold
+	// cells and the handlers return with partial campaigns.
+	baseCtx, abortInflight := context.WithCancel(context.Background())
+	defer abortInflight()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           sweepd.New(st, cloversim.RunScenario, *workers).Handler(),
+		Handler:           server.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 	go func() {
 		fmt.Fprintf(os.Stderr, "sweepd: listening on %s\n", *addr)
@@ -65,18 +89,31 @@ func main() {
 		}
 	}()
 
-	stop := make(chan os.Signal, 1)
+	stop := make(chan os.Signal, 2)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Fprintln(os.Stderr, "sweepd: shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	fmt.Fprintln(os.Stderr, "sweepd: shutting down: draining in-flight requests (signal again to abort them)")
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "sweepd: aborting in-flight expands")
+		abortInflight()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		// The drain window closed with requests still running: cancel
+		// their contexts so the engines stop scheduling, then force the
+		// connections closed. Completed cells are already in the store.
+		fmt.Fprintf(os.Stderr, "sweepd: drain incomplete (%v); aborting in-flight expands\n", err)
+		abortInflight()
+		srv.Close()
 	}
+	// Shutdown drained (or we gave up): make everything that finished
+	// durable. Close syncs the active segment before closing it.
 	if err := st.Close(); err != nil {
 		fatal(err)
 	}
+	fmt.Fprintln(os.Stderr, "sweepd: store synced and closed")
 }
 
 func fatal(err error) {

@@ -89,6 +89,9 @@ type Store struct {
 	mu     sync.RWMutex
 	index  map[string]Record // scenario ID -> record (current physics only)
 	active *os.File          // lazily created on first Put
+	closed bool              // Close was called; Put must not resurrect a segment
+	dirty  bool              // appended since the last successful fsync
+	torn   bool              // last append failed; tail may hold a partial line
 	stats  Stats
 }
 
@@ -318,6 +321,13 @@ func (s *Store) Put(sc sweep.Scenario, m sweep.Metrics) error {
 	rec := Record{ID: sc.ID(), Scenario: sc, Metrics: m}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		// A forced shutdown can race a straggling write-through against
+		// Close. Creating a fresh segment here would silently leave an
+		// unsynced, unclosed file behind; failing loudly routes the
+		// loss into the caller's durability-error path instead.
+		return fmt.Errorf("store: put %s after close", rec.ID)
+	}
 	if _, dup := s.index[rec.ID]; dup {
 		return nil
 	}
@@ -328,10 +338,22 @@ func (s *Store) Put(sc sweep.Scenario, m sweep.Metrics) error {
 	}
 	// One write syscall per record: O_APPEND guarantees the line lands
 	// contiguously at the tail, so a torn write can only be a truncated
-	// final line, which recovery skips.
+	// final line, which recovery skips. That guarantee requires never
+	// appending directly after a failed write — the tail may hold a
+	// partial, newline-less line that the next record would merge into,
+	// corrupting BOTH on recovery. A leading newline terminates any
+	// such garbage (recovery skips it as corrupt, or as a blank line)
+	// so this record starts clean; it rides in the same single write.
+	if s.torn {
+		line = append([]byte{'\n'}, line...)
+	}
 	if _, err := s.active.Write(line); err != nil {
+		// Unknown how many bytes landed: poison the tail.
+		s.torn = true
 		return fmt.Errorf("store: append %s: %w", rec.ID, err)
 	}
+	s.torn = false
+	s.dirty = true
 	s.index[rec.ID] = rec
 	s.stats.Records = len(s.index)
 	return nil
@@ -402,24 +424,31 @@ func (s *Store) Records() []Record {
 	return out
 }
 
-// Sync flushes the active segment to stable storage.
+// Sync flushes the active segment to stable storage. It is free when
+// the store is clean — nothing appended since the last successful
+// Sync — so callers on a response path may invoke it unconditionally;
+// and because a failed fsync leaves the store dirty, the next Sync
+// retries instead of silently vouching for unflushed bytes.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.active == nil {
+	if s.active == nil || !s.dirty {
 		return nil
 	}
 	if err := s.active.Sync(); err != nil {
 		return fmt.Errorf("store: sync: %w", err)
 	}
+	s.dirty = false
 	return nil
 }
 
-// Close syncs and closes the active segment. The store must not be
-// used afterwards.
+// Close syncs and closes the active segment. Afterwards reads and
+// Sync remain safe no-ops, but Put fails: a closed store accepts no
+// new records (see Put).
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closed = true
 	if s.active == nil {
 		return nil
 	}

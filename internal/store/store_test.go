@@ -370,6 +370,129 @@ func TestAccessorsAndSync(t *testing.T) {
 	}
 }
 
+// TestSyncAfterCloseIsSafe locks down the shutdown contract sweepd
+// relies on: when a forced shutdown closes the store while a late
+// handler still calls Sync, the Sync is a clean no-op — never a panic
+// or an error on a file that is already durable.
+func TestSyncAfterCloseIsSafe(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "p1")
+	if err := s.Put(scenario("icx", "jacobi", 9), metrics(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync after Close = %v, want nil no-op", err)
+	}
+	// Put, by contrast, must fail loudly: resurrecting a fresh segment
+	// after Close would leave it unsynced and unclosed, silently
+	// breaking the durability contract a forced daemon shutdown
+	// depends on.
+	if err := s.Put(scenario("icx", "jacobi", 10), metrics(4)); err == nil {
+		t.Fatal("Put after Close succeeded; want an error routing the loss to the caller")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store indexed a post-Close record: %d records, want 1", s.Len())
+	}
+}
+
+// TestSyncDirtyTracking: Sync must be free on a clean store (callers
+// sit on response paths and invoke it unconditionally) and must only
+// clear the dirty mark on success, so a failed fsync is retried by
+// the next Sync instead of silently vouched for.
+func TestSyncDirtyTracking(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "p1")
+	if s.dirty {
+		t.Fatal("fresh store is dirty")
+	}
+	if err := s.Put(scenario("icx", "jacobi", 11), metrics(5)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.dirty {
+		t.Fatal("Put did not mark the store dirty")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s.dirty {
+		t.Fatal("successful Sync did not mark the store clean")
+	}
+	if err := s.Sync(); err != nil { // clean: free no-op
+		t.Fatal(err)
+	}
+	if err := s.Put(scenario("icx", "jacobi", 12), metrics(6)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.dirty {
+		t.Fatal("second Put did not re-mark the store dirty")
+	}
+}
+
+// TestPutAfterTornWriteDoesNotMergeLines: a failed append may leave a
+// partial, newline-less line at the segment tail; the next successful
+// Put must not glue its record onto that garbage (which would corrupt
+// BOTH records on recovery). The poisoned store prepends a newline,
+// so recovery drops only the torn line and keeps the new record.
+func TestPutAfterTornWriteDoesNotMergeLines(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, "p1")
+	if err := s.Put(scenario("icx", "jacobi", 20), metrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn append: partial garbage lands, Put reports error.
+	if _, err := s.active.Write([]byte(`{"id":"deadbeef","phys":"p1","key":"torn`)); err != nil {
+		t.Fatal(err)
+	}
+	s.torn = true
+	// The next Put must survive recovery intact.
+	if err := s.Put(scenario("icx", "jacobi", 21), metrics(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, "p1")
+	if s2.Len() != 2 {
+		t.Fatalf("recovered %d records, want both survivors of the torn write", s2.Len())
+	}
+	if _, ok := s2.Get(scenario("icx", "jacobi", 21)); !ok {
+		t.Fatal("record appended after the torn write did not survive recovery")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Errorf("recovery counted %d corrupt lines, want exactly the torn one", st.Corrupt)
+	}
+}
+
+// TestConcurrentPutSync hammers Put against Sync the way sweepd does:
+// every expand handler syncs before responding while other expands
+// are still writing through. Run under -race in CI.
+func TestConcurrentPutSync(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "p1")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := s.Put(scenario("icx", "jacobi", uint64(w*100+i)), metrics(float64(i))); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if err := s.Sync(); err != nil {
+					t.Errorf("Sync: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 100 {
+		t.Fatalf("store holds %d records, want 100", s.Len())
+	}
+}
+
 func TestOpenFailsOnUnusableDir(t *testing.T) {
 	dir := t.TempDir()
 	// A regular file where the store directory should be.

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -44,6 +45,28 @@ type Result struct {
 // Runner executes one scenario.
 type Runner func(Scenario) (Metrics, error)
 
+// RunnerContext is the cancellation-aware runner form: the engine
+// passes it the campaign context so a long-running simulation can
+// observe cancellation (returning early with ctx.Err() is fine — the
+// scenario is then a failure, not a cached result). Runners that
+// ignore the context keep the engine's coarser guarantee: running
+// cells complete, unstarted cells never start.
+type RunnerContext func(context.Context, Scenario) (Metrics, error)
+
+// IgnoreContext adapts a context-free Runner to the RunnerContext
+// form. The adapted runner is not interruptible mid-scenario;
+// cancellation still stops unstarted cells at dispatch.
+func IgnoreContext(run Runner) RunnerContext {
+	return func(_ context.Context, s Scenario) (Metrics, error) { return run(s) }
+}
+
+// ErrUnstarted marks a scenario a cancelled campaign never started:
+// its Result carries an error wrapping both ErrUnstarted and the
+// context's error (context.Canceled or context.DeadlineExceeded), so
+// callers can tell "skipped because the campaign was cancelled" apart
+// from genuine simulation failures with errors.Is.
+var ErrUnstarted = errors.New("not started: campaign cancelled")
+
 // Campaign is an executed grid: results in deterministic grid order.
 type Campaign struct {
 	Results []Result
@@ -64,6 +87,23 @@ func (c Campaign) Failed() []Result {
 	}
 	return out
 }
+
+// Unstarted returns the results of scenarios a cancelled campaign
+// never started (their errors wrap ErrUnstarted).
+func (c Campaign) Unstarted() []Result {
+	var out []Result
+	for _, r := range c.Results {
+		if errors.Is(r.Err, ErrUnstarted) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Interrupted reports whether the campaign was cut short by context
+// cancellation — i.e. at least one scenario never started. Completed
+// results are still valid (and were written through to the Cache).
+func (c Campaign) Interrupted() bool { return len(c.Unstarted()) > 0 }
 
 // Err aggregates per-scenario failures (nil when everything succeeded).
 // Scenario errors are isolated — a campaign always completes — so this
@@ -123,9 +163,17 @@ type Engine struct {
 
 	mu    sync.Mutex
 	cache map[string]Metrics // scenario ID -> successful metrics
-	done  int
 
 	progressMu sync.Mutex // serializes Progress callbacks
+}
+
+// run is the per-campaign state: its own done counter, so two
+// campaigns running concurrently on one engine (as sweepd does across
+// expand requests) report independent Progress(done, total) counts.
+type run struct {
+	mu    sync.Mutex
+	done  int
+	total int
 }
 
 // NewEngine returns an engine with the given worker bound (<=0 means
@@ -141,28 +189,51 @@ func (e *Engine) CacheSize() int {
 
 // Run expands the grid and executes it.
 func (e *Engine) Run(g Grid, run Runner) Campaign {
-	return e.RunScenarios(g.Expand(), run)
+	return e.RunContext(context.Background(), g, IgnoreContext(run))
 }
 
-// RunScenarios executes an explicit scenario list. Scenarios run
-// concurrently (bounded by Workers) but the returned results are in
-// input order. A scenario whose config hash was already executed — in
-// this campaign, a previous one on the same engine, or (when Cache is
-// set) any prior process that wrote the persistent store — is served
-// from cache; a scenario that fails is reported in its Result without
-// aborting the rest.
+// RunContext expands the grid and executes it under ctx: cancellation
+// stops scheduling cold cells (see RunScenariosContext).
+func (e *Engine) RunContext(ctx context.Context, g Grid, run RunnerContext) Campaign {
+	return e.RunScenariosContext(ctx, g.Expand(), run)
+}
+
+// RunScenarios executes an explicit scenario list without a
+// cancellation point (context.Background); see RunScenariosContext.
 func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
+	return e.RunScenariosContext(context.Background(), scenarios, IgnoreContext(run))
+}
+
+// RunScenariosContext executes an explicit scenario list. Scenarios
+// run concurrently (bounded by Workers) but the returned results are
+// in input order. A scenario whose config hash was already executed —
+// in this campaign, a previous one on the same engine, or (when Cache
+// is set) any prior process that wrote the persistent store — is
+// served from cache; a scenario that fails is reported in its Result
+// without aborting the rest.
+//
+// Cancelling ctx stops the campaign scheduling new work — at the
+// dispatch loop, at the worker-slot acquire, and between second-tier
+// cache probes — and the call returns promptly with partial results:
+// already-running scenarios complete (and write through to Cache as
+// usual), already-finalized results stand, and every never-started
+// scenario carries an error wrapping ErrUnstarted and ctx.Err(). The
+// campaign still contains one finalized Result per input scenario.
+func (e *Engine) RunScenariosContext(ctx context.Context, scenarios []Scenario, runner RunnerContext) Campaign {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	total := len(scenarios)
 	results := make([]Result, total)
+	prog := &run{total: total}
 	e.mu.Lock()
 	if e.cache == nil {
 		e.cache = map[string]Metrics{}
 	}
-	e.done = 0
 	// Partition: cache hits finalize immediately, the first occurrence
 	// of each novel ID executes, repeats copy from the first.
 	first := map[string]int{}
@@ -187,10 +258,16 @@ func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
 	// Second tier: probe the persistent cache for memoizer misses,
 	// outside the engine lock (Cache implementations take their own
 	// locks and may be arbitrary user code). Warm hits skip simulation
-	// and seed the memoizer for in-campaign duplicates.
+	// and seed the memoizer for in-campaign duplicates. A cancelled
+	// campaign stops probing: the rest go to the dispatch loop, which
+	// finalizes them as unstarted.
 	if e.Cache != nil {
-		cold := exec[:0]
-		for _, i := range exec {
+		cold := make([]int, 0, len(exec))
+		for n, i := range exec {
+			if ctx.Err() != nil {
+				cold = append(cold, exec[n:]...)
+				break
+			}
 			if m, hit := e.Cache.Get(scenarios[i]); hit {
 				results[i].Metrics = m
 				results[i].Cached = true
@@ -205,20 +282,48 @@ func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
 		exec = cold
 	}
 	for _, i := range hits {
-		e.progress(total, results[i])
+		e.progress(prog, results[i])
 	}
 
 	var putMu sync.Mutex
 	var putErrs []error
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
+	// finalizeUnstarted records the distinguished cancellation error
+	// for a scenario that will never run and fires its progress tick.
+	finalizeUnstarted := func(i int) {
+		e.mu.Lock()
+		results[i].Err = unstartedErr(ctx, scenarios[i], results[i].ID)
+		r := results[i]
+		e.mu.Unlock()
+		e.progress(prog, r)
+	}
 	for _, i := range exec {
+		if ctx.Err() != nil {
+			// Dispatch-time cancellation: finalize without scheduling.
+			finalizeUnstarted(i)
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				// The campaign was cancelled while this scenario queued
+				// for a worker slot: finalize it unstarted so the pool
+				// drains without doing new work.
+				finalizeUnstarted(i)
+				return
+			}
 			defer func() { <-sem }()
-			m, err := runSafe(run, scenarios[i])
+			if ctx.Err() != nil {
+				// Slot acquired in a race with cancellation: still no
+				// new work.
+				finalizeUnstarted(i)
+				return
+			}
+			m, err := runSafe(ctx, runner, scenarios[i])
 			e.mu.Lock()
 			results[i].Metrics, results[i].Err = m, err
 			if err == nil {
@@ -229,8 +334,11 @@ func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
 			e.mu.Unlock()
 			if err == nil && e.Cache != nil {
 				// Write-through to the persistent tier, outside the
-				// engine lock. A failed Put degrades resumability, not
-				// the scenario: the result stands, the error aggregates.
+				// engine lock — unconditionally, even after cancellation:
+				// a completed simulation is durable work a resumed
+				// campaign must not repeat. A failed Put degrades
+				// resumability, not the scenario: the result stands, the
+				// error aggregates.
 				if perr := e.Cache.Put(scenarios[i], m); perr != nil {
 					putMu.Lock()
 					putErrs = append(putErrs, fmt.Errorf("sweep: store %s (%s): %w",
@@ -238,7 +346,7 @@ func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
 					putMu.Unlock()
 				}
 			}
-			e.progress(total, r)
+			e.progress(prog, r)
 		}(i)
 	}
 	wg.Wait()
@@ -251,36 +359,48 @@ func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
 		results[i].Metrics = results[j].Metrics
 		results[i].Err = results[j].Err
 		results[i].Cached = true
-		e.progress(total, results[i])
+		e.progress(prog, results[i])
 	}
 	return Campaign{Results: results, CacheErr: errors.Join(putErrs...)}
 }
 
+// unstartedErr builds the distinguished error a cancelled campaign
+// attaches to every scenario it never started: errors.Is sees both
+// ErrUnstarted and the context error (context.Canceled or
+// context.DeadlineExceeded).
+func unstartedErr(ctx context.Context, s Scenario, id string) error {
+	return fmt.Errorf("sweep: scenario %s (%s) %w: %w", id, s.Label(), ErrUnstarted, ctx.Err())
+}
+
 // progress finalizes one scenario's done count and fires the Progress
 // callback outside the engine lock (so callbacks may use the engine)
-// but serialized, so terminal output does not interleave.
-func (e *Engine) progress(total int, r Result) {
+// but serialized, so terminal output does not interleave — including
+// across concurrent campaigns, whose counts stay independent because
+// the counter lives in per-run state.
+func (e *Engine) progress(p *run, r Result) {
+	p.mu.Lock()
+	p.done++
+	done := p.done
+	p.mu.Unlock()
 	e.mu.Lock()
-	e.done++
-	done := e.done
 	cb := e.Progress
 	e.mu.Unlock()
 	if cb != nil {
 		e.progressMu.Lock()
-		cb(done, total, r)
+		cb(done, p.total, r)
 		e.progressMu.Unlock()
 	}
 }
 
 // runSafe isolates runner panics into per-scenario errors so one bad
 // scenario cannot kill the campaign.
-func runSafe(run Runner, s Scenario) (m Metrics, err error) {
+func runSafe(ctx context.Context, run RunnerContext, s Scenario) (m Metrics, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			m, err = nil, fmt.Errorf("sweep: scenario %s (%s) panicked: %v", s.ID(), s.Label(), r)
 		}
 	}()
-	return run(s)
+	return run(ctx, s)
 }
 
 // ForEach runs fn(0..n-1) on a bounded worker pool and returns the

@@ -1,0 +1,181 @@
+package sweepcli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"cloversim"
+	"cloversim/internal/store"
+	"cloversim/internal/sweep"
+)
+
+// TestE2ESIGINTInterruptsCampaign drives the real signal path: a
+// campaign is interrupted by an actual SIGINT to this process, the
+// in-flight scenario completes and persists, unstarted scenarios are
+// skipped, the partial campaign files are written, and the exit code
+// is the documented ExitInterrupted (3). A re-run against the same
+// store resumes exactly the unfinished cells.
+func TestE2ESIGINTInterruptsCampaign(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "store")
+	outDir := filepath.Join(t.TempDir(), "out")
+	// One worker: a single in-flight cell, eleven queued behind it.
+	args := append([]string{"-workers", "1"}, e2eArgs(storeDir, outDir)...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var sims atomic.Int64
+	started := make(chan struct{})
+	var once sync.Once
+	runner := func(rctx context.Context, s sweep.Scenario) (sweep.Metrics, error) {
+		sims.Add(1)
+		once.Do(func() { close(started) })
+		// A long-running cell: it finishes only after the interrupt,
+		// proving in-flight work is completed and persisted, not torn.
+		select {
+		case <-rctx.Done():
+		case <-time.After(10 * time.Second):
+			return nil, errors.New("SIGINT never cancelled the campaign")
+		}
+		var m sweep.Metrics
+		m.Add("v", 42)
+		return m, nil
+	}
+	go func() {
+		<-started
+		syscall.Kill(os.Getpid(), syscall.SIGINT)
+	}()
+
+	var stdout, stderr bytes.Buffer
+	code := MainWithRunnerContext(ctx, args, &stdout, &stderr, runner)
+	if code != ExitInterrupted {
+		t.Fatalf("interrupted campaign exit %d, want %d; stderr:\n%s", code, ExitInterrupted, stderr.Bytes())
+	}
+	if got := sims.Load(); got != 1 {
+		t.Errorf("interrupted campaign simulated %d cells, want only the 1 in flight at SIGINT", got)
+	}
+	if msg := stderr.String(); !strings.Contains(msg, "interrupted: 1 of 12 scenarios completed") {
+		t.Errorf("stderr does not report the interruption:\n%s", msg)
+	}
+
+	// The store holds exactly the completed cell — durable, because the
+	// CLI closed (and thus synced) the store before exiting.
+	st, err := store.Open(storeDir, cloversim.PhysicsVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d records after interrupt, want exactly the 1 completed cell", st.Len())
+	}
+
+	// The partial campaign was still emitted, with unstarted cells
+	// carrying their distinguished error.
+	raw, err := os.ReadFile(filepath.Join(outDir, "campaign.json"))
+	if err != nil {
+		t.Fatalf("interrupted campaign did not write campaign.json: %v", err)
+	}
+	var emitted struct {
+		Scenarios int `json:"scenarios"`
+		Failed    int `json:"failed"`
+		Results   []struct {
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &emitted); err != nil {
+		t.Fatal(err)
+	}
+	if emitted.Scenarios != 12 || emitted.Failed != 11 {
+		t.Errorf("campaign.json reports %d scenarios, %d failed; want 12 with 11 unstarted", emitted.Scenarios, emitted.Failed)
+	}
+	unstarted := 0
+	for _, r := range emitted.Results {
+		if strings.Contains(r.Error, sweep.ErrUnstarted.Error()) {
+			unstarted++
+		}
+	}
+	if unstarted != 11 {
+		t.Errorf("%d results marked unstarted in campaign.json, want 11", unstarted)
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "campaign.csv")); err != nil {
+		t.Errorf("interrupted campaign did not write campaign.csv: %v", err)
+	}
+
+	// Resume: the same campaign against the same store simulates only
+	// the 11 cells the interrupt skipped, then exits 0.
+	var resumed atomic.Int64
+	code, _, errOut := runCLI(t, e2eArgs(storeDir, filepath.Join(t.TempDir(), "resume")), countRunner(&resumed))
+	if code != ExitOK {
+		t.Fatalf("resumed campaign exit %d: %s", code, errOut)
+	}
+	if resumed.Load() != 11 {
+		t.Errorf("resumed campaign simulated %d cells, want the 11 unfinished ones", resumed.Load())
+	}
+}
+
+// TestInterruptExitCodePrecedence: exit 3 promises "partial results
+// persisted", so a store that failed to accept writes must override it
+// with the runtime-error code.
+func TestInterruptExitCodePrecedence(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	storeDir := filepath.Join(t.TempDir(), "store")
+	if err := os.MkdirAll(storeDir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	runner := func(rctx context.Context, s sweep.Scenario) (sweep.Metrics, error) {
+		once.Do(cancel) // interrupt as soon as the first cell runs
+		var m sweep.Metrics
+		m.Add("v", 1)
+		return m, nil
+	}
+	args := append([]string{"-workers", "1"}, e2eArgs(storeDir, filepath.Join(t.TempDir(), "out"))...)
+	var stdout, stderr bytes.Buffer
+	code := MainWithRunnerContext(ctx, args, &stdout, &stderr, runner)
+	if code != ExitRuntime {
+		t.Fatalf("interrupted campaign with unwritable store exit %d, want %d (durability loss outranks the interrupt); stderr:\n%s",
+			code, ExitRuntime, stderr.Bytes())
+	}
+	if msg := stderr.String(); !strings.Contains(msg, "interrupted") {
+		t.Errorf("stderr should still report the interruption:\n%s", msg)
+	}
+}
+
+// TestCancelledBeforeStart: a context that is already dead yields a
+// fully-unstarted campaign, zero simulations, and exit 3 — the CLI
+// never hangs on a doomed run.
+func TestCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sims atomic.Int64
+	args := e2eArgs(filepath.Join(t.TempDir(), "store"), filepath.Join(t.TempDir(), "out"))
+	var stdout, stderr bytes.Buffer
+	code := MainWithRunnerContext(ctx, args, &stdout, &stderr, func(context.Context, sweep.Scenario) (sweep.Metrics, error) {
+		sims.Add(1)
+		return nil, nil
+	})
+	if code != ExitInterrupted {
+		t.Fatalf("pre-cancelled run exit %d, want %d", code, ExitInterrupted)
+	}
+	if sims.Load() != 0 {
+		t.Errorf("pre-cancelled run simulated %d cells", sims.Load())
+	}
+	if !strings.Contains(stderr.String(), "interrupted: 0 of 12 scenarios completed") {
+		t.Errorf("stderr does not report the fully-unstarted campaign:\n%s", stderr.String())
+	}
+}

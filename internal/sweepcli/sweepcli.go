@@ -6,15 +6,18 @@
 package sweepcli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"cloversim"
 	"cloversim/internal/machine"
@@ -24,22 +27,51 @@ import (
 )
 
 // Exit codes. Scenario failures and I/O failures are runtime errors
-// (1); unparseable flags and unknown axis values are usage errors (2).
+// (1); unparseable flags and unknown axis values are usage errors (2);
+// an interrupted campaign (SIGINT/SIGTERM or a cancelled context)
+// whose completed cells were emitted — and persisted, when -store is
+// set — exits 3 so scripts can tell "partial but resumable" apart
+// from "failed". A durability failure (store write or sync) is always
+// a runtime error, even when the run was also interrupted: the
+// partial-results-persisted promise of exit 3 would be a lie.
 const (
-	ExitOK      = 0
-	ExitRuntime = 1
-	ExitUsage   = 2
+	ExitOK          = 0
+	ExitRuntime     = 1
+	ExitUsage       = 2
+	ExitInterrupted = 3
 )
 
-// Main runs the sweep CLI against the production runner and physics.
+// Main runs the sweep CLI against the production runner and physics,
+// with SIGINT/SIGTERM cancelling the campaign: running scenarios
+// complete and persist, unstarted ones are skipped, the partial
+// campaign is emitted, and the exit code is ExitInterrupted.
 func Main(argv []string, stdout, stderr io.Writer) int {
-	return MainWithRunner(argv, stdout, stderr, cloversim.RunScenario)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// Once the first signal has cancelled the campaign, unregister
+		// the handler: a second Ctrl-C gets default die-now behavior
+		// instead of being swallowed while an uninterruptible in-flight
+		// scenario finishes.
+		<-ctx.Done()
+		stop()
+	}()
+	return MainWithRunnerContext(ctx, argv, stdout, stderr, cloversim.RunScenarioContext)
 }
 
 // MainWithRunner is Main with an injectable scenario runner — the seam
 // the e2e harness uses to prove a warm store performs zero simulation
-// work.
+// work. No signal handling is installed; the campaign is
+// uncancellable.
 func MainWithRunner(argv []string, stdout, stderr io.Writer, runner sweep.Runner) int {
+	return MainWithRunnerContext(context.Background(), argv, stdout, stderr, sweep.IgnoreContext(runner))
+}
+
+// MainWithRunnerContext is the CLI core: campaign execution runs
+// under ctx, so cancelling it interrupts the sweep (exit code
+// ExitInterrupted, partial results emitted and persisted). Main wires
+// ctx to SIGINT/SIGTERM; tests drive cancellation directly.
+func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io.Writer, runner sweep.RunnerContext) int {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -131,7 +163,7 @@ func MainWithRunner(argv []string, stdout, stderr io.Writer, runner sweep.Runner
 			fmt.Fprintln(stdout, sweep.ProgressLine(done, total, r))
 		}
 	}
-	c := eng.Run(grid, runner)
+	c := eng.RunContext(ctx, grid, runner)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return runtimeErr(stderr, err)
@@ -169,6 +201,28 @@ func MainWithRunner(argv []string, stdout, stderr io.Writer, runner sweep.Runner
 			fmt.Fprintln(stderr, "sweep:", err)
 			code = ExitRuntime
 		}
+	}
+	if unstarted := c.Unstarted(); len(unstarted) > 0 {
+		// The campaign was interrupted: completed cells were emitted
+		// (and, with -store, persisted and fsynced by the Close above),
+		// never-started cells carry ErrUnstarted. Genuine simulation
+		// failures among the completed cells still get reported, but
+		// the exit code stays ExitInterrupted unless durability broke
+		// (code is already ExitRuntime then): "interrupted, partial
+		// results persisted" is the stronger signal for scripts, which
+		// re-run the campaign to finish it either way.
+		completed := len(c.Results) - len(unstarted)
+		fmt.Fprintf(stderr, "sweep: interrupted: %d of %d scenarios completed, %d not started\n",
+			completed, len(c.Results), len(unstarted))
+		for _, r := range c.Failed() {
+			if !errors.Is(r.Err, sweep.ErrUnstarted) {
+				fmt.Fprintf(stderr, "sweep: %s (%s): %v\n", r.Scenario.Label(), r.ID, r.Err)
+			}
+		}
+		if code == ExitOK {
+			code = ExitInterrupted
+		}
+		return code
 	}
 	// Error isolation means the campaign always completes and both
 	// files are written — but scripts still need a failure signal:

@@ -15,14 +15,27 @@
 // The expand response uses the exact campaign JSON format cmd/sweep
 // writes to campaign.json, so clients can treat the daemon as a remote
 // sweep.
+//
+// Expands are cancellation-correct: each runs under its request
+// context (plus the optional Server.ExpandTimeout deadline), so a
+// client that disconnects mid-expand stops the server scheduling that
+// grid's remaining cold cells and releases its global simulation
+// slots immediately; cells already simulating complete and are
+// written through, cells never started come back as errors wrapping
+// sweep.ErrUnstarted. The store is synced before a 200 response, so
+// results the client has been told about survive a daemon crash.
 package sweepd
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"runtime"
+	"time"
 
 	"cloversim/internal/store"
 	"cloversim/internal/sweep"
@@ -33,11 +46,40 @@ import (
 // the daemon behind a million simulations.
 const maxCells = 4096
 
+// ResultStore is the slice of *store.Store the server depends on,
+// lifted to an interface so tests can inject durability failures
+// (failed Sync) without a real broken filesystem. *store.Store
+// implements it.
+type ResultStore interface {
+	sweep.Cache
+	Lookup(id string) (store.Record, bool)
+	Records() []store.Record
+	Len() int
+	Stats() store.Stats
+	Physics() string
+	Sync() error
+}
+
+var _ ResultStore = (*store.Store)(nil)
+
 // Server serves one store. Create with New; safe for concurrent use.
+// The exported fields are optional configuration: set them before the
+// Handler serves traffic.
 type Server struct {
-	st     *store.Store
+	// ExpandTimeout, when positive, bounds each expand request: the
+	// campaign context expires after this long, unstarted cells come
+	// back as errors, and the partial response is flagged with an
+	// X-Expand-Incomplete header. Zero means no server-side deadline
+	// (client disconnect still cancels).
+	ExpandTimeout time.Duration
+	// ErrorLog receives response-write failures (broken pipes, encode
+	// bugs) that cannot reach the client anymore. Nil means
+	// log.Default().
+	ErrorLog *log.Logger
+
+	st     ResultStore
 	eng    *sweep.Engine
-	runner sweep.Runner
+	runner sweep.RunnerContext
 	sem    chan struct{}
 }
 
@@ -45,7 +87,7 @@ type Server struct {
 // cells; workers bounds simulation concurrency globally across all
 // in-flight expand requests (<= 0 means GOMAXPROCS). Results of cold
 // simulations are written through to the store.
-func New(st *store.Store, runner sweep.Runner, workers int) *Server {
+func New(st ResultStore, runner sweep.RunnerContext, workers int) *Server {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -54,13 +96,34 @@ func New(st *store.Store, runner sweep.Runner, workers int) *Server {
 	s.eng.Cache = st
 	// The engine bounds workers per campaign; the semaphore bounds the
 	// whole daemon, so concurrent expand requests share one simulation
-	// budget instead of multiplying it.
-	s.runner = func(sc sweep.Scenario) (sweep.Metrics, error) {
-		s.sem <- struct{}{}
+	// budget instead of multiplying it. The acquire selects on the
+	// request context: a cell whose client already disconnected (or
+	// whose deadline passed) releases its claim on the global budget
+	// immediately instead of simulating into the void.
+	s.runner = func(ctx context.Context, sc sweep.Scenario) (sweep.Metrics, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			// The cell never simulated: report it with the engine's
+			// distinguished unstarted error, not as a genuine failure.
+			return nil, fmt.Errorf("sweepd: waiting for a simulation slot: %w: %w", sweep.ErrUnstarted, ctx.Err())
+		}
 		defer func() { <-s.sem }()
-		return runner(sc)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sweepd: simulation slot acquired after cancellation: %w: %w", sweep.ErrUnstarted, err)
+		}
+		return runner(ctx, sc)
 	}
 	return s
+}
+
+// logf reports server-side failures that have no client to return to.
+func (s *Server) logf(format string, args ...any) {
+	l := s.ErrorLog
+	if l == nil {
+		l = log.Default()
+	}
+	l.Printf(format, args...)
 }
 
 // Handler returns the daemon's HTTP routes.
@@ -73,16 +136,22 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes one response body. Encode failures (typically a
+// client that hung up mid-body, occasionally a genuine encoding bug)
+// cannot be reported to the client — the status line is gone — so
+// they are logged instead of swallowed.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.logf("sweepd: %s %s: writing response: %v", r.Method, r.URL.Path, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	s.writeJSON(w, r, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 type healthResponse struct {
@@ -93,7 +162,7 @@ type healthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{
+	s.writeJSON(w, r, http.StatusOK, healthResponse{
 		OK:      true,
 		Physics: s.st.Physics(),
 		Records: s.st.Len(),
@@ -160,17 +229,17 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	for _, rec := range recs {
 		resp.Scenarios = append(resp.Scenarios, toJSONRecord(rec))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rec, ok := s.st.Lookup(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no stored result for config hash %q under physics %s", id, s.st.Physics())
+		s.writeError(w, r, http.StatusNotFound, "no stored result for config hash %q under physics %s", id, s.st.Physics())
 		return
 	}
-	writeJSON(w, http.StatusOK, toJSONRecord(rec))
+	s.writeJSON(w, r, http.StatusOK, toJSONRecord(rec))
 }
 
 // GridSpec is the expand request body: the same axes cmd/sweep's flags
@@ -217,27 +286,86 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad grid spec: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "bad grid spec: %v", err)
 		return
 	}
 	grid, err := spec.Grid()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if n := grid.Size(); n > maxCells {
-		writeError(w, http.StatusBadRequest, "grid has %d cells, limit %d", n, maxCells)
+		s.writeError(w, r, http.StatusBadRequest, "grid has %d cells, limit %d", n, maxCells)
 		return
 	}
-	c := s.eng.Run(grid, s.runner)
-	w.Header().Set("Content-Type", "application/json")
+	// The campaign runs under the request context: a client that
+	// disconnects mid-expand stops cold-cell scheduling instead of
+	// simulating the rest of the grid into a dead socket, and the
+	// per-request deadline (when configured) bounds how long one grid
+	// may hold simulation slots.
+	ctx := r.Context()
+	if s.ExpandTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.ExpandTimeout)
+		defer cancel()
+	}
+	c := s.eng.RunContext(ctx, grid, s.runner)
+	// Durability before acknowledgement: a 200 without X-Store-Error
+	// asserts every result in the body is durable. The engine memoizer
+	// can serve results whose write-through failed — in this request
+	// (CacheErr) or an earlier one — so verify each successful cell is
+	// indexed and, since the metrics are in hand, repair misses by
+	// retrying the Put (a transient disk-full must not condemn the
+	// cell to X-Store-Error, let alone for the daemon's lifetime).
+	// Post-repair verification subsumes CacheErr: only a cell that is
+	// STILL not persistable flags the loss. The Sync runs after the
+	// repairs so they ride the same pre-response fsync; it is free on
+	// a clean store (the all-warm steady state) and re-attempts a
+	// fsync an earlier request failed rather than vouching for it.
+	var storeErr error
+	for _, res := range c.Results {
+		if res.Err != nil {
+			continue
+		}
+		if _, ok := s.st.Lookup(res.ID); ok {
+			continue
+		}
+		if perr := s.st.Put(res.Scenario, res.Metrics); perr != nil {
+			storeErr = errors.Join(storeErr, fmt.Errorf("sweepd: result %s served from memory but not persistable: %w", res.ID, perr))
+		}
+	}
+	if err := s.st.Sync(); err != nil {
+		storeErr = errors.Join(storeErr, err)
+	}
 	if c.CacheErr != nil {
+		// Worth a trace even when repaired: write-throughs failing at
+		// all is an operational smell.
+		s.logf("sweepd: POST /v1/expand: write-through: %v", c.CacheErr)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if storeErr != nil {
 		// The campaign is correct — the durability loss is server-side.
 		// Discarding computed results would only force clients into a
 		// re-simulation loop, so serve them and flag the loss in a
 		// header (headers must precede the body).
+		s.logf("sweepd: POST /v1/expand: store: %v", storeErr)
 		w.Header().Set("X-Store-Error", "store writes failed; results not persisted")
 	}
+	if c.Interrupted() {
+		// Cancelled mid-grid (deadline hit, or client gone — then
+		// nobody reads this): the body is a partial campaign whose
+		// unstarted cells carry errors. Flag it so clients distinguish
+		// "incomplete" from "simulation failed". Keyed on the campaign,
+		// not ctx.Err(): a deadline that fires after the last cell
+		// finalized did not cost the client anything.
+		reason := "campaign cancelled"
+		if err := ctx.Err(); err != nil {
+			reason = err.Error()
+		}
+		w.Header().Set("X-Expand-Incomplete", reason)
+	}
 	w.WriteHeader(http.StatusOK)
-	sweep.JSONEmitter{Indent: true}.Emit(w, c)
+	if err := (sweep.JSONEmitter{Indent: true}).Emit(w, c); err != nil {
+		s.logf("sweepd: POST /v1/expand: writing campaign: %v", err)
+	}
 }

@@ -2,6 +2,7 @@ package sweepd
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -30,7 +31,7 @@ func openStore(t *testing.T) *store.Store {
 	return st
 }
 
-func startServer(t *testing.T, st *store.Store, runner sweep.Runner, workers int) *httptest.Server {
+func startServer(t *testing.T, st ResultStore, runner sweep.RunnerContext, workers int) *httptest.Server {
 	t.Helper()
 	ts := httptest.NewServer(New(st, runner, workers).Handler())
 	t.Cleanup(ts.Close)
@@ -100,9 +101,9 @@ type expandResponse struct {
 func TestServerEndToEnd(t *testing.T) {
 	st := openStore(t)
 	var sims atomic.Int64
-	runner := func(s sweep.Scenario) (sweep.Metrics, error) {
+	runner := func(ctx context.Context, s sweep.Scenario) (sweep.Metrics, error) {
 		sims.Add(1)
-		return cloversim.RunScenario(s)
+		return cloversim.RunScenarioContext(ctx, s)
 	}
 	ts := startServer(t, st, runner, 4)
 
@@ -195,7 +196,7 @@ func TestServerEndToEnd(t *testing.T) {
 }
 
 func TestServerRejectsBadRequests(t *testing.T) {
-	ts := startServer(t, openStore(t), cloversim.RunScenario, 2)
+	ts := startServer(t, openStore(t), cloversim.RunScenarioContext, 2)
 	cases := []struct {
 		name string
 		spec string
@@ -242,7 +243,7 @@ func TestServerRejectsBadRequests(t *testing.T) {
 func TestConcurrentHammer(t *testing.T) {
 	st := openStore(t)
 	var sims atomic.Int64
-	slowRunner := func(s sweep.Scenario) (sweep.Metrics, error) {
+	slowRunner := func(_ context.Context, s sweep.Scenario) (sweep.Metrics, error) {
 		sims.Add(1)
 		time.Sleep(5 * time.Millisecond) // keep cold cells in flight while readers hammer
 		var m sweep.Metrics
@@ -382,7 +383,7 @@ func TestExpandServesResultsDespiteStoreFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { st.Close() })
-	ts := startServer(t, st, cloversim.RunScenario, 2)
+	ts := startServer(t, st, cloversim.RunScenarioContext, 2)
 
 	spec := GridSpec{Machines: []string{"icx"}, Workloads: []string{"jacobi"},
 		Modes: []string{"baseline"}, Ranks: []int{2}, Threads: []int{4},

@@ -2,6 +2,8 @@ package cloversim
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -94,6 +96,27 @@ func TestRunScenarioMetrics(t *testing.T) {
 	}
 	if v := get(base, "bandwidth_gbs"); v <= 0 {
 		t.Errorf("bandwidth %.3f must be positive", v)
+	}
+}
+
+// TestRunScenarioContextRefusesDeadContext: the production runner's
+// pre-run check must mark the cell as unstarted (never a genuine
+// failure), matching the engine's own dispatch-time marker, so an
+// interrupt landing in the dispatch-to-run window still exits 3.
+func TestRunScenarioContextRefusesDeadContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := quickGrid().Expand()[0]
+	m, err := RunScenarioContext(ctx, sc)
+	if m != nil || err == nil {
+		t.Fatalf("RunScenarioContext on dead context = %v, %v; want nil metrics and an error", m, err)
+	}
+	if !errors.Is(err, sweep.ErrUnstarted) || !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v should wrap sweep.ErrUnstarted and context.Canceled", err)
+	}
+	// A live context runs the real workload.
+	if m, err := RunScenarioContext(context.Background(), sc); err != nil || len(m) == 0 {
+		t.Errorf("RunScenarioContext with live context = %v, %v; want real metrics", m, err)
 	}
 }
 
