@@ -1,0 +1,35 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a stable JSON document, so CI can publish a machine-
+// readable benchmark baseline (BENCH_sweep.json) per commit and the
+// perf trajectory of the engine, the memsim range kinds and RunTraffic
+// is tracked across PRs instead of eyeballed.
+//
+// Usage:
+//
+//	go test -run - -bench . ./internal/sweep | benchjson > BENCH_sweep.json
+//
+// Multiple `go test` outputs may be concatenated on stdin; the pkg
+// lines partition the benchmarks. Lines that are not benchmark results
+// (PASS, ok, goos/goarch headers) are ignored.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	doc, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	if err := doc.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Doc is the JSON document: one entry per benchmark result line, in
+// input order (which `go test` keeps deterministic per package), plus
+// the environment headers go test prints.
+type Doc struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one result line. Metrics maps unit -> value and always
+// carries ns/op; custom b.ReportMetric units (scenarios/op, bytes/cell)
+// ride alongside B/op and allocs/op.
+type Benchmark struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Parse reads concatenated `go test -bench` output.
+//
+// A result line is "BenchmarkName[-P] <iterations> (<value> <unit>)+",
+// e.g.
+//
+//	BenchmarkEngineThroughput/workers8-8  100  1234567 ns/op  256 scenarios/op
+//
+// Header lines (goos:, goarch:, pkg:, cpu:) set document/package
+// context; everything else is ignored.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GoOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GoArch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok, err := parseResult(line, pkg)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseResult parses one candidate result line. Lines that start with
+// "Benchmark" but are not results (e.g. a benchmark's own log output)
+// are skipped, not errors — go test interleaves them freely.
+func parseResult(line, pkg string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	// Shortest valid result: name, iterations, value, unit.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{
+		Package:    pkg,
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// The -P suffix is GOMAXPROCS; subtests keep it after the last dash.
+	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("bad value %q in %q", fields[i], line)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if _, ok := b.Metrics["ns/op"]; !ok {
+		// Every go test result line carries ns/op; without it this is
+		// some other Benchmark-prefixed text.
+		return Benchmark{}, false, nil
+	}
+	return b, true, nil
+}
+
+// WriteJSON renders the document with a stable field order and indent.
+func (d *Doc) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

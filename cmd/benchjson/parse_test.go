@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: cloversim/internal/sweep
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkEngineThroughput/workers1-8         	     100	  12345678 ns/op	     256 scenarios/op	  4096 B/op	      12 allocs/op
+BenchmarkEngineThroughput/workers8-8         	     400	   3456789 ns/op	     256 scenarios/op
+PASS
+ok  	cloversim/internal/sweep	2.345s
+goos: linux
+goarch: amd64
+pkg: cloversim/internal/cloverleaf
+BenchmarkRunTraffic/ranks1-8                 	      10	 111222333 ns/op	      22.5 bytes/cell
+Benchmark log line that is not a result
+PASS
+ok  	cloversim/internal/cloverleaf	1.234s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoOS != "linux" || doc.GoArch != "amd64" || doc.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Errorf("headers = %q/%q/%q", doc.GoOS, doc.GoArch, doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("%d benchmarks, want 3", len(doc.Benchmarks))
+	}
+
+	b := doc.Benchmarks[0]
+	if b.Package != "cloversim/internal/sweep" ||
+		b.Name != "BenchmarkEngineThroughput/workers1" ||
+		b.Procs != 8 || b.Iterations != 100 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 12345678, "scenarios/op": 256, "B/op": 4096, "allocs/op": 12,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+
+	traffic := doc.Benchmarks[2]
+	if traffic.Package != "cloversim/internal/cloverleaf" {
+		t.Errorf("pkg context not tracked across outputs: %q", traffic.Package)
+	}
+	if got := traffic.Metrics["bytes/cell"]; got != 22.5 {
+		t.Errorf("custom metric bytes/cell = %v, want 22.5", got)
+	}
+}
+
+func TestParseSkipsNonResults(t *testing.T) {
+	doc, err := Parse(strings.NewReader("PASS\nok x 1s\nBenchmark something\nBenchmarkX-4 notanumber 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise, want 0", len(doc.Benchmarks))
+	}
+}
+
+func TestParseRoundTripJSON(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := doc.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`"goos": "linux"`,
+		`"name": "BenchmarkEngineThroughput/workers8"`,
+		`"scenarios/op": 256`,
+		`"bytes/cell": 22.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out)
+		}
+	}
+}

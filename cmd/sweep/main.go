@@ -11,6 +11,7 @@
 //	sweep -ranks 18,36,72 -threads 1,18,36
 //	sweep -mesh 3840x3840,15360x15360 -out results/sweep
 //	sweep -store results/store             # resumable: warm scenarios skip simulation
+//	sweep -workers host1:8075,host2:8075   # shard cold cells across a sweepd fleet
 //
 // Grid syntax: every axis flag is a comma-separated value list (or
 // "all" where noted); the campaign is the full cross product of the
@@ -20,6 +21,17 @@
 // content-addressed store and every already-stored scenario is served
 // from it: re-running a campaign performs zero simulation work and
 // emits byte-identical output.
+//
+// -workers is overloaded: an integer sizes the local worker pool,
+// while a comma-separated list of sweepd URLs selects the remote
+// dispatch backend — the campaign's cold cells are sharded across the
+// fleet (weighted by each worker's advertised capacity, with retry on
+// worker failure and straggler re-dispatch), results are merged back
+// into deterministic grid order, and the output is byte-identical to
+// a local run. Combined with -store, remote results are written
+// through locally, so a distributed campaign is resumable exactly
+// like a local one. Fleets must run the same physics version as this
+// binary; mixed fleets are refused.
 //
 // Ctrl-C (SIGINT) or SIGTERM interrupts a campaign cleanly: running
 // scenarios finish and persist, unstarted ones are skipped, and the

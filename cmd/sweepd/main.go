@@ -21,6 +21,13 @@
 // cells and releases its simulation slots immediately, and
 // -expand-timeout (0 = off) bounds each request server-side.
 //
+// The daemon is also a fleet worker: POST /v1/expand accepts an
+// explicit scenario-key list (cells this store has never seen), and
+// /v1/healthz advertises the simulation capacity (-workers), in-flight
+// expand count and physics version that cmd/sweep's dispatch backend
+// shards by. Point cmd/sweep -workers at a set of sweepd addresses to
+// run distributed campaigns.
+//
 // Shutdown is graceful: on SIGINT/SIGTERM the daemon stops accepting
 // connections, drains in-flight requests (up to -drain-timeout), then
 // cancels whatever is still simulating, and finally syncs and closes

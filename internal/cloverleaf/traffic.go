@@ -136,6 +136,73 @@ type rankGroup struct {
 	firstRank    int
 }
 
+// groupResult is one rank group's simulated loop traffic, pre-scaling.
+type groupResult struct {
+	firstRank int
+	weights   float64
+	loops     []LoopInstance
+	counts    []memsim.Counts
+	scales    []float64
+	iters     []float64
+}
+
+// groupError pairs a group failure with its first rank so RunTraffic
+// can report a deterministic first error regardless of scheduler order.
+type groupError struct {
+	firstRank int
+	err       error
+}
+
+// trafficGroupHook is a test seam: when set, it runs at the top of
+// every rank-group simulation, letting the regression suite inject a
+// panicking loop without reaching into the trace executor. Production
+// code never sets it.
+var trafficGroupHook func(g *rankGroup)
+
+// simulateGroup simulates one rank group's loop traffic. A panic
+// anywhere in the group's simulation — a workload bug, malformed
+// bounds — is recovered into an error so it fails this traffic study
+// (one scenario in a sweep), not the whole process hosting it (a
+// sweepd worker serving many campaigns).
+func simulateGroup(o TrafficOptions, spec *machine.Spec, env trace.Env, g *rankGroup) (gr groupResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cloverleaf: rank group at rank %d (%dx%d) panicked: %v", g.firstRank, g.xspan, g.yspan, r)
+		}
+	}()
+	if trafficGroupHook != nil {
+		trafficGroupHook(g)
+	}
+	// Simulated chunk: full x extent, truncated y extent.
+	t := NewTrafficChunk(1, g.xspan, 1, g.yspan, o.MaxRows, o.AlignArrays)
+	full := NewTrafficChunk(1, g.xspan, 1, g.yspan, 0, o.AlignArrays)
+
+	loops := t.HotspotLoops(o.OptimizeLoops)
+	fullLoops := full.HotspotLoops(o.OptimizeLoops)
+	if !o.HotspotOnly {
+		loops = append(loops, t.AuxLoops()...)
+		fullLoops = append(fullLoops, full.AuxLoops()...)
+	}
+
+	x := trace.NewExecutor(spec)
+	x.NTStores = o.NTStores
+	e := env
+	e.Pressure = g.pressure
+	x.SetEnv(e)
+	x.E.Seed(o.Seed ^ uint64(g.firstRank+1)*0x9e3779b97f4a7c15)
+
+	gr = groupResult{firstRank: g.firstRank, weights: float64(g.count)}
+	gr.loops = loops
+	for i, li := range loops {
+		c := x.Run(li.Loop, li.Bounds)
+		scale := float64(fullLoops[i].Bounds.Iterations()) / float64(li.Bounds.Iterations())
+		gr.counts = append(gr.counts, c)
+		gr.scales = append(gr.scales, scale)
+		gr.iters = append(gr.iters, float64(fullLoops[i].Bounds.Iterations()))
+	}
+	return gr, nil
+}
+
 // RunTraffic simulates the memory traffic of one hydro step for the
 // given rank count and returns per-loop aggregates.
 func RunTraffic(o TrafficOptions) (*TrafficResult, error) {
@@ -169,58 +236,31 @@ func RunTraffic(o TrafficOptions) (*TrafficResult, error) {
 		PFOn:          !o.PFOff,
 	}
 
-	type groupResult struct {
-		firstRank int
-		weights   float64
-		loops     []LoopInstance
-		counts    []memsim.Counts
-		scales    []float64
-		iters     []float64
-	}
 	results := make([]groupResult, 0, len(groups))
+	var errs []groupError
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	var firstErr error
 
 	for _, g := range groups {
 		wg.Add(1)
 		go func(g *rankGroup) {
 			defer wg.Done()
-			// Simulated chunk: full x extent, truncated y extent.
-			t := NewTrafficChunk(1, g.xspan, 1, g.yspan, o.MaxRows, o.AlignArrays)
-			full := NewTrafficChunk(1, g.xspan, 1, g.yspan, 0, o.AlignArrays)
-
-			loops := t.HotspotLoops(o.OptimizeLoops)
-			fullLoops := full.HotspotLoops(o.OptimizeLoops)
-			if !o.HotspotOnly {
-				loops = append(loops, t.AuxLoops()...)
-				fullLoops = append(fullLoops, full.AuxLoops()...)
-			}
-
-			x := trace.NewExecutor(&spec)
-			x.NTStores = o.NTStores
-			e := env
-			e.Pressure = g.pressure
-			x.SetEnv(e)
-			x.E.Seed(o.Seed ^ uint64(g.firstRank+1)*0x9e3779b97f4a7c15)
-
-			gr := groupResult{firstRank: g.firstRank, weights: float64(g.count)}
-			gr.loops = loops
-			for i, li := range loops {
-				c := x.Run(li.Loop, li.Bounds)
-				scale := float64(fullLoops[i].Bounds.Iterations()) / float64(li.Bounds.Iterations())
-				gr.counts = append(gr.counts, c)
-				gr.scales = append(gr.scales, scale)
-				gr.iters = append(gr.iters, float64(fullLoops[i].Bounds.Iterations()))
-			}
+			gr, err := simulateGroup(o, &spec, env, g)
 			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, groupError{firstRank: g.firstRank, err: err})
+				return
+			}
 			results = append(results, gr)
-			mu.Unlock()
 		}(g)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if len(errs) > 0 {
+		// Deterministic "first" error: lowest first rank, not scheduler
+		// order.
+		sort.Slice(errs, func(a, b int) bool { return errs[a].firstRank < errs[b].firstRank })
+		return nil, errs[0].err
 	}
 
 	// Groups finish in scheduler order; accumulate in rank order so the

@@ -1,0 +1,78 @@
+package cloverleaf
+
+import (
+	"strings"
+	"testing"
+
+	"cloversim/internal/machine"
+)
+
+// TestRunTrafficRecoversGroupPanic is the regression lock for the
+// once-dead error path in RunTraffic: a panicking loop inside one rank
+// group must come back as an error naming the group — failing one
+// scenario — instead of killing the whole process (which, under
+// sweepd, is a worker serving many campaigns).
+func TestRunTrafficRecoversGroupPanic(t *testing.T) {
+	trafficGroupHook = func(g *rankGroup) {
+		panic("injected loop bug")
+	}
+	t.Cleanup(func() { trafficGroupHook = nil })
+
+	o := TrafficOptions{
+		Machine:     machine.ICX8360Y(),
+		Ranks:       4,
+		GridX:       512,
+		GridY:       512,
+		MaxRows:     4,
+		HotspotOnly: true,
+	}
+	res, err := RunTraffic(o)
+	if err == nil {
+		t.Fatal("RunTraffic returned no error with every rank group panicking")
+	}
+	if res != nil {
+		t.Fatalf("RunTraffic returned a result alongside the error: %+v", res)
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "injected loop bug") {
+		t.Errorf("error %v does not carry the recovered panic", err)
+	}
+
+	// The first error is deterministic: the lowest-ranked group, not
+	// whichever goroutine the scheduler finished first.
+	if !strings.Contains(err.Error(), "rank group at rank 0") {
+		t.Errorf("error %v, want the rank-0 group's error reported first", err)
+	}
+
+	// A healed run on the same options succeeds.
+	trafficGroupHook = nil
+	if _, err := RunTraffic(o); err != nil {
+		t.Fatalf("healed RunTraffic failed: %v", err)
+	}
+}
+
+// TestRunTrafficSingleGroupPanic: only one group panics; the error
+// still surfaces (no lost failures) and names that group.
+func TestRunTrafficSingleGroupPanic(t *testing.T) {
+	trafficGroupHook = func(g *rankGroup) {
+		if g.firstRank != 0 {
+			panic("injected bug in a non-first group")
+		}
+	}
+	t.Cleanup(func() { trafficGroupHook = nil })
+
+	o := TrafficOptions{
+		Machine:     machine.ICX8360Y(),
+		Ranks:       6, // decomposes into multiple subdomain shapes
+		GridX:       512,
+		GridY:       512,
+		MaxRows:     4,
+		HotspotOnly: true,
+	}
+	_, err := RunTraffic(o)
+	if err == nil {
+		t.Skip("decomposition produced a single rank group; nothing panicked")
+	}
+	if !strings.Contains(err.Error(), "injected bug in a non-first group") {
+		t.Errorf("error %v does not carry the recovered panic", err)
+	}
+}

@@ -144,12 +144,24 @@ type Cache interface {
 	Put(Scenario, Metrics) error
 }
 
-// Engine executes campaigns on a bounded worker pool with per-scenario
-// result caching. The zero value is usable; Workers defaults to
-// runtime.GOMAXPROCS(0).
+// Engine executes campaigns with per-scenario result caching. The
+// host side — grid expansion, deduplication, the in-memory memoizer,
+// the persistent second-tier cache, write-through, progress and
+// deterministic result ordering — always runs in-process; the
+// execution of cold cells is delegated to a pluggable Backend. The
+// zero value is usable: execution defaults to a LocalBackend over the
+// per-call runner, with Workers defaulting to runtime.GOMAXPROCS(0).
 type Engine struct {
-	// Workers bounds concurrent scenario executions.
+	// Workers bounds concurrent scenario executions of the default
+	// local backend. It is ignored when Backend is set.
 	Workers int
+	// Backend, when set, executes the campaign's cold cells in place
+	// of the default in-process pool — e.g. a dispatch fleet sharding
+	// them across remote sweepd workers. The per-call runner is then
+	// unused. Results flow back through the same memoization,
+	// write-through and progress paths as local execution, so emitter
+	// output and store contents are identical either way.
+	Backend Backend
 	// Cache, when set, is the persistent second tier behind the
 	// in-memory memoizer: hits skip simulation entirely (Result.Cached),
 	// fresh successes are written through. Put errors do not fail
@@ -287,44 +299,28 @@ func (e *Engine) RunScenariosContext(ctx context.Context, scenarios []Scenario, 
 
 	var putMu sync.Mutex
 	var putErrs []error
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	// finalizeUnstarted records the distinguished cancellation error
-	// for a scenario that will never run and fires its progress tick.
-	finalizeUnstarted := func(i int) {
-		e.mu.Lock()
-		results[i].Err = unstartedErr(ctx, scenarios[i], results[i].ID)
-		r := results[i]
-		e.mu.Unlock()
-		e.progress(prog, r)
-	}
-	for _, i := range exec {
-		if ctx.Err() != nil {
-			// Dispatch-time cancellation: finalize without scheduling.
-			finalizeUnstarted(i)
-			continue
+	if len(exec) > 0 {
+		// Execution: the cold cells go to the backend as one batch,
+		// indexed 0..len(exec)-1. The report callback is the single
+		// funnel back into the engine — memoization, write-through and
+		// progress — and it is idempotent (first report per cell wins),
+		// so backends that re-dispatch work cannot double-finalize.
+		cold := make([]Scenario, len(exec))
+		for k, i := range exec {
+			cold[k] = scenarios[i]
 		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				// The campaign was cancelled while this scenario queued
-				// for a worker slot: finalize it unstarted so the pool
-				// drains without doing new work.
-				finalizeUnstarted(i)
-				return
+		reported := make([]bool, len(exec))
+		report := func(k int, m Metrics, err error) {
+			if k < 0 || k >= len(exec) {
+				return // defensive: a buggy backend must not panic the campaign
 			}
-			defer func() { <-sem }()
-			if ctx.Err() != nil {
-				// Slot acquired in a race with cancellation: still no
-				// new work.
-				finalizeUnstarted(i)
-				return
-			}
-			m, err := runSafe(ctx, runner, scenarios[i])
+			i := exec[k]
 			e.mu.Lock()
+			if reported[k] {
+				e.mu.Unlock()
+				return
+			}
+			reported[k] = true
 			results[i].Metrics, results[i].Err = m, err
 			if err == nil {
 				// Errors are not cached: a retried campaign re-runs them.
@@ -336,7 +332,10 @@ func (e *Engine) RunScenariosContext(ctx context.Context, scenarios []Scenario, 
 				// Write-through to the persistent tier, outside the
 				// engine lock — unconditionally, even after cancellation:
 				// a completed simulation is durable work a resumed
-				// campaign must not repeat. A failed Put degrades
+				// campaign must not repeat. This holds for remote
+				// backends too: metrics computed on a worker land in the
+				// local store, so a distributed campaign is resumable
+				// exactly like a local one. A failed Put degrades
 				// resumability, not the scenario: the result stands, the
 				// error aggregates.
 				if perr := e.Cache.Put(scenarios[i], m); perr != nil {
@@ -347,9 +346,37 @@ func (e *Engine) RunScenariosContext(ctx context.Context, scenarios []Scenario, 
 				}
 			}
 			e.progress(prog, r)
-		}(i)
+		}
+		backend := e.Backend
+		if backend == nil {
+			backend = &LocalBackend{Workers: workers, Run: runner}
+		}
+		panicErr := executeSafe(ctx, backend, cold, report)
+		// Finalize anything the backend failed to report: under a
+		// cancelled context that is normal (unstarted cells), otherwise
+		// it is a backend bug (or panic) that must surface as a
+		// per-scenario failure, never as a silently absent result.
+		for k, i := range exec {
+			e.mu.Lock()
+			done := reported[k]
+			e.mu.Unlock()
+			if done {
+				continue
+			}
+			var err error
+			switch {
+			case panicErr != nil:
+				err = fmt.Errorf("sweep: backend panicked executing %s (%s): %w",
+					results[i].ID, scenarios[i].Label(), panicErr)
+			case ctx.Err() != nil:
+				err = unstartedErr(ctx, scenarios[i], results[i].ID)
+			default:
+				err = fmt.Errorf("sweep: backend never reported scenario %s (%s)",
+					results[i].ID, scenarios[i].Label())
+			}
+			report(k, nil, err)
+		}
 	}
-	wg.Wait()
 
 	for i := range scenarios {
 		j := first[results[i].ID]
@@ -390,6 +417,19 @@ func (e *Engine) progress(p *run, r Result) {
 		cb(done, p.total, r)
 		e.progressMu.Unlock()
 	}
+}
+
+// executeSafe runs one backend batch, isolating a backend panic into
+// an error instead of killing the campaign: the engine finalizes the
+// unreported cells with it.
+func executeSafe(ctx context.Context, b Backend, scenarios []Scenario, report ReportFunc) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	b.Execute(ctx, scenarios, report)
+	return nil
 }
 
 // runSafe isolates runner panics into per-scenario errors so one bad

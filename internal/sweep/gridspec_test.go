@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestGridSpecResolve: the shared names-based spec expands through the
+// same mode/mesh validators as before, with the axis validator
+// injected (the machine/workload registries live above this package).
+func TestGridSpecResolve(t *testing.T) {
+	var sawMachines, sawWorkloads []string
+	spec := GridSpec{
+		Machines:  []string{"icx"},
+		Workloads: []string{"stream"},
+		Modes:     []string{"baseline", "nt"},
+		Meshes:    []string{"128x64"},
+		Ranks:     []int{2, 4},
+		MaxRows:   8,
+		Seed:      42,
+	}
+	grid, err := spec.Resolve(func(machines, workloads []string) error {
+		sawMachines, sawWorkloads = machines, workloads
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sawMachines) != 1 || sawMachines[0] != "icx" || len(sawWorkloads) != 1 {
+		t.Errorf("validator saw machines %v workloads %v", sawMachines, sawWorkloads)
+	}
+	if grid.Size() != 4 {
+		t.Errorf("grid size %d, want 4 (2 modes x 2 ranks)", grid.Size())
+	}
+	if len(grid.Modes) != 2 || grid.Modes[1].Name != "nt" || !grid.Modes[1].NTStores {
+		t.Errorf("modes resolved to %+v", grid.Modes)
+	}
+	if len(grid.Meshes) != 1 || grid.Meshes[0] != (Mesh{X: 128, Y: 64}) {
+		t.Errorf("meshes resolved to %+v", grid.Meshes)
+	}
+	if grid.MaxRows != 8 || grid.Seed != 42 {
+		t.Errorf("maxrows/seed = %d/%d, want 8/42", grid.MaxRows, grid.Seed)
+	}
+
+	// Validator failures and unknown modes/meshes are errors.
+	if _, err := spec.Resolve(func([]string, []string) error { return fmt.Errorf("nope") }); err == nil || err.Error() != "nope" {
+		t.Errorf("axis validator error not surfaced: %v", err)
+	}
+	bad := spec
+	bad.Modes = []string{"warp-drive"}
+	if _, err := bad.Resolve(nil); err == nil {
+		t.Error("unknown mode resolved")
+	}
+	bad = spec
+	bad.Meshes = []string{"banana"}
+	if _, err := bad.Resolve(nil); err == nil {
+		t.Error("bad mesh resolved")
+	}
+}
+
+// TestGridSpecExplicit: the explicit form round-trips canonical keys
+// and rejects malformed keys and mixed specs.
+func TestGridSpecExplicit(t *testing.T) {
+	want := []Scenario{
+		{Machine: "icx", Ranks: 4, Seed: 9},
+		{Machine: "spr8480", Workload: "jacobi", Mode: Mode{Name: "nt", NTStores: true}, Threads: 8},
+	}
+	spec := GridSpec{Scenarios: []string{want[0].Key(), want[1].Key()}}
+	if !spec.IsExplicit() {
+		t.Fatal("explicit spec not recognized")
+	}
+	got, err := spec.Explicit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("scenario %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := spec.Resolve(nil); err == nil {
+		t.Error("explicit spec resolved as a grid")
+	}
+
+	mixed := spec
+	mixed.Machines = []string{"icx"}
+	if _, err := mixed.Explicit(); err == nil || !strings.Contains(err.Error(), "cannot be combined") {
+		t.Errorf("mixed spec error %v, want a combination rejection", err)
+	}
+	bad := GridSpec{Scenarios: []string{"garbage"}}
+	if _, err := bad.Explicit(); err == nil {
+		t.Error("malformed key parsed")
+	}
+	if _, err := (GridSpec{}).Explicit(); err == nil {
+		t.Error("axis-form spec produced explicit scenarios")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"syscall"
 
 	"cloversim"
+	"cloversim/internal/dispatch"
 	"cloversim/internal/machine"
 	"cloversim/internal/store"
 	"cloversim/internal/sweep"
@@ -83,7 +84,7 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 		mesh      = fs.String("mesh", "", "comma-separated problem sizes WxH (default: 15360x15360)")
 		maxRows   = fs.Int("maxrows", 0, "y-extent truncation (0 = fast default 32, -1 = paper-faithful full extent)")
 		seed      = fs.Uint64("seed", 0, "deterministic PRNG seed (0 = default)")
-		workers   = fs.Int("workers", 0, "max concurrent scenarios (0 = GOMAXPROCS)")
+		workers   = fs.String("workers", "0", "local worker count (0 = GOMAXPROCS), or a comma-separated list of sweepd worker URLs to shard the campaign across a fleet")
 		out       = fs.String("out", "results/sweep", "output directory for campaign.csv and campaign.json")
 		storeDir  = fs.String("store", "", "persistent result store directory; already-simulated scenarios are served from it and fresh results are recorded, making campaigns resumable")
 		plot      = fs.String("plot", "store_ratio", "metric for the ASCII summary chart (empty = first metric)")
@@ -96,39 +97,69 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 		return ExitUsage
 	}
 
-	grid := cloversim.CampaignGrid(*seed)
-	grid.MaxRows = *maxRows
+	// -workers is overloaded: an integer sizes the local pool, anything
+	// else is a fleet of sweepd worker URLs for the remote backend.
+	var localWorkers int
+	var workerHosts []string
+	if n, err := strconv.Atoi(strings.TrimSpace(*workers)); err == nil {
+		localWorkers = n
+	} else {
+		workerHosts = splitList(*workers)
+		if len(workerHosts) == 0 {
+			return usage(stderr, fmt.Errorf("bad -workers %q: want a count or a list of sweepd URLs", *workers))
+		}
+	}
+
+	// The grid resolves through the same names-based GridSpec the
+	// sweepd HTTP API decodes, so the two surfaces cannot drift.
+	spec := sweep.GridSpec{
+		Machines:  machine.Names(),
+		Workloads: workload.Names(),
+		Modes:     sweep.ModeNames(),
+		MaxRows:   *maxRows,
+		Seed:      *seed,
+	}
 	if *machines != "all" {
-		grid.Machines = splitList(*machines)
+		spec.Machines = splitList(*machines)
 	}
 	if *workloads != "all" {
-		grid.Workloads = splitList(*workloads)
-	}
-	if err := workload.ValidateAxes(grid.Machines, grid.Workloads); err != nil {
-		return usage(stderr, err)
+		spec.Workloads = splitList(*workloads)
 	}
 	if *modes != "all" {
-		// ModesByName builds a fresh slice: grid.Modes otherwise
-		// aliases the shared sweep.AllModes backing array, which a
-		// reslice-append would corrupt.
-		picked, err := sweep.ModesByName(splitList(*modes))
-		if err != nil {
-			return usage(stderr, err)
-		}
-		grid.Modes = picked
+		spec.Modes = splitList(*modes)
 	}
+	spec.Meshes = splitList(*mesh)
 	var err error
-	if grid.Ranks, err = intList(*ranks); err != nil {
+	if spec.Ranks, err = intList(*ranks); err != nil {
 		return usage(stderr, err)
 	}
-	if grid.Threads, err = intList(*threads); err != nil {
+	if spec.Threads, err = intList(*threads); err != nil {
 		return usage(stderr, err)
 	}
-	if grid.Meshes, err = sweep.ParseMeshes(splitList(*mesh)); err != nil {
+	grid, err := spec.Resolve(workload.ValidateAxes)
+	if err != nil {
 		return usage(stderr, err)
 	}
 
-	eng := sweep.NewEngine(*workers)
+	eng := sweep.NewEngine(localWorkers)
+	// workersDesc names the execution backend in the startup banner.
+	workersDesc := func() string {
+		if nw := localWorkers; nw > 0 {
+			return fmt.Sprintf("%d workers", nw)
+		}
+		return fmt.Sprintf("%d workers", runtime.GOMAXPROCS(0))
+	}()
+	if len(workerHosts) > 0 {
+		// Remote backend: shard this campaign's cold cells across the
+		// fleet. The memoizer, store probe/write-through and emitters
+		// are untouched — distributed output is byte-identical to local.
+		fleet, err := dispatch.New(ctx, workerHosts, cloversim.PhysicsVersion)
+		if err != nil {
+			return runtimeErr(stderr, err)
+		}
+		eng.Backend = fleet
+		workersDesc = fmt.Sprintf("fleet of %d workers (capacity %d)", fleet.Size(), fleet.Capacity())
+	}
 	var st *store.Store
 	if *storeDir != "" {
 		st, err = store.Open(*storeDir, cloversim.PhysicsVersion)
@@ -153,12 +184,8 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 		eng.Cache = st
 	}
 	if !*quiet {
-		nw := *workers
-		if nw <= 0 {
-			nw = runtime.GOMAXPROCS(0)
-		}
-		fmt.Fprintf(stdout, "sweep: %d scenarios (%d machines x %d workloads x %d modes), %d workers\n",
-			grid.Size(), len(grid.Machines), len(grid.Workloads), len(grid.Modes), nw)
+		fmt.Fprintf(stdout, "sweep: %d scenarios (%d machines x %d workloads x %d modes), %s\n",
+			grid.Size(), len(grid.Machines), len(grid.Workloads), len(grid.Modes), workersDesc)
 		eng.Progress = func(done, total int, r sweep.Result) {
 			fmt.Fprintln(stdout, sweep.ProgressLine(done, total, r))
 		}

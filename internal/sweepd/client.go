@@ -1,0 +1,175 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cloversim/internal/sweep"
+)
+
+// Client is the typed HTTP client of one sweepd worker — the other
+// half of the server's wire protocol, so the dispatch layer never
+// hand-rolls JSON against it. It is safe for concurrent use.
+type Client struct {
+	// BaseURL is the worker's root URL (e.g. "http://host:8075"). A
+	// bare host[:port] is promoted to http://.
+	BaseURL string
+	// HTTPClient, when nil, falls back to http.DefaultClient. Expand
+	// calls can legitimately run for minutes (cold simulation), so a
+	// client with a global timeout is usually wrong here; bound calls
+	// with the context instead.
+	HTTPClient *http.Client
+	// Physics, when non-empty, makes ExecuteScenarios reject responses
+	// simulated under a different physics version. A fleet checks
+	// healthz at assembly, but a worker can be restarted with a newer
+	// binary (or swapped behind a load balancer) mid-campaign; the
+	// per-response check keeps foreign-physics results from ever
+	// merging into this campaign or its store.
+	Physics string
+}
+
+// NewClient returns a client for one worker base URL, promoting a
+// scheme-less host[:port] to http://.
+func NewClient(base string) *Client {
+	base = strings.TrimSuffix(strings.TrimSpace(base), "/")
+	if base != "" && !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{BaseURL: base}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// errorBody extracts the server's {"error": ...} message from a non-200
+// response, falling back to the raw body.
+func errorBody(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+// Healthz probes the worker's /v1/healthz.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/healthz", nil)
+	if err != nil {
+		return Health{}, fmt.Errorf("sweepd client: %s: %w", c.BaseURL, err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return Health{}, fmt.Errorf("sweepd client: %s: %w", c.BaseURL, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Health{}, fmt.Errorf("sweepd client: %s: reading healthz: %w", c.BaseURL, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Health{}, fmt.Errorf("sweepd client: %s: healthz status %d: %s", c.BaseURL, resp.StatusCode, errorBody(body))
+	}
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		return Health{}, fmt.Errorf("sweepd client: %s: bad healthz body: %w", c.BaseURL, err)
+	}
+	return h, nil
+}
+
+// ExecResult is one scenario outcome returned by ExecuteScenarios.
+// Exactly one of Metrics/Err is meaningful. Unstarted marks a cell the
+// worker was cancelled out of before simulating (its expand deadline,
+// a dying daemon): the cell is re-dispatchable, unlike a genuine
+// simulation failure.
+type ExecResult struct {
+	ID        string
+	Metrics   sweep.Metrics
+	Err       error
+	Unstarted bool
+}
+
+// ExecuteScenarios posts the scenarios to the worker's /v1/expand in
+// explicit-key form and returns one result per scenario, in request
+// order. Metric values are reconstructed from their IEEE-754 bits, so
+// they are bit-exact with what the worker simulated. A transport
+// error, a non-200 status or a malformed/mismatched response is a
+// worker-level error (the whole batch is unaccounted for); per-cell
+// failures ride in the results.
+func (c *Client) ExecuteScenarios(ctx context.Context, scenarios []sweep.Scenario) ([]ExecResult, error) {
+	keys := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		keys[i] = s.Key()
+	}
+	reqBody, err := json.Marshal(GridSpec{Scenarios: keys})
+	if err != nil {
+		return nil, fmt.Errorf("sweepd client: %s: encoding request: %w", c.BaseURL, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/expand", bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, fmt.Errorf("sweepd client: %s: %w", c.BaseURL, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("sweepd client: %s: %w", c.BaseURL, err)
+	}
+	defer resp.Body.Close()
+	// Bounded read: maxCells results at a few KB each stay far below
+	// this; an endless body from a wedged worker (or a typo'd URL that
+	// answers 200 forever) must not balloon the dispatcher's memory.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("sweepd client: %s: reading expand response: %w", c.BaseURL, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sweepd client: %s: expand status %d: %s", c.BaseURL, resp.StatusCode, errorBody(body))
+	}
+	var er executeResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		return nil, fmt.Errorf("sweepd client: %s: bad expand response: %w", c.BaseURL, err)
+	}
+	if c.Physics != "" && er.Physics != c.Physics {
+		return nil, fmt.Errorf("sweepd client: %s: response simulated under physics %s, want %s", c.BaseURL, er.Physics, c.Physics)
+	}
+	if len(er.Results) != len(scenarios) {
+		return nil, fmt.Errorf("sweepd client: %s: %d results for %d scenarios", c.BaseURL, len(er.Results), len(scenarios))
+	}
+	out := make([]ExecResult, len(er.Results))
+	for i, r := range er.Results {
+		if want := scenarios[i].ID(); r.ID != want {
+			return nil, fmt.Errorf("sweepd client: %s: result %d is scenario %s, want %s", c.BaseURL, i, r.ID, want)
+		}
+		res := ExecResult{ID: r.ID, Unstarted: r.Unstarted}
+		if r.Error != "" {
+			res.Err = fmt.Errorf("worker %s: %s", c.BaseURL, r.Error)
+			out[i] = res
+			continue
+		}
+		m := make(sweep.Metrics, 0, len(r.Metrics))
+		for _, jm := range r.Metrics {
+			// The bits field is authoritative: the decimal mirror cannot
+			// carry NaN/Inf and is for humans.
+			bits, err := strconv.ParseUint(jm.Bits, 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sweepd client: %s: result %s metric %s: bad bits %q", c.BaseURL, r.ID, jm.Name, jm.Bits)
+			}
+			m.Add(jm.Name, math.Float64frombits(bits))
+		}
+		res.Metrics = m
+		out[i] = res
+	}
+	return out, nil
+}

@@ -7,14 +7,24 @@
 //
 // API (all JSON):
 //
-//	GET  /v1/healthz        liveness + store occupancy
+//	GET  /v1/healthz        liveness, store occupancy, simulation capacity
 //	GET  /v1/scenarios      every stored record, deterministic key order
 //	GET  /v1/results/{id}   one record by scenario config hash
 //	POST /v1/expand         expand a grid: warm from store, simulate cold
 //
-// The expand response uses the exact campaign JSON format cmd/sweep
-// writes to campaign.json, so clients can treat the daemon as a remote
-// sweep.
+// An expand body is either a grid (axes by name, the cross product is
+// executed) or an explicit scenario list (canonical scenario keys, the
+// dispatch protocol's form — the worker executes cells it has never
+// seen). The grid form responds with the exact campaign JSON format
+// cmd/sweep writes to campaign.json, so clients can treat the daemon
+// as a remote sweep; the explicit form responds with a typed result
+// list carrying bit-exact IEEE-754 metric bits, so a dispatcher can
+// merge fleet results into a byte-identical campaign.
+//
+// Healthz reports the daemon's simulation capacity (worker slots), the
+// number of in-flight expand requests, and the physics version, so a
+// dispatcher can weight shards by capacity and refuse mixed-physics
+// fleets.
 //
 // Expands are cancellation-correct: each runs under its request
 // context (plus the optional Server.ExpandTimeout deadline), so a
@@ -31,10 +41,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"cloversim/internal/store"
@@ -77,10 +89,11 @@ type Server struct {
 	// log.Default().
 	ErrorLog *log.Logger
 
-	st     ResultStore
-	eng    *sweep.Engine
-	runner sweep.RunnerContext
-	sem    chan struct{}
+	st       ResultStore
+	eng      *sweep.Engine
+	runner   sweep.RunnerContext
+	sem      chan struct{}
+	inflight atomic.Int64 // expand requests currently being served
 }
 
 // New wires a server onto an open store. The runner simulates cold
@@ -154,28 +167,61 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 	s.writeJSON(w, r, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-type healthResponse struct {
-	OK      bool   `json:"ok"`
-	Physics string `json:"physics"`
-	Records int    `json:"records"`
-	Stats   string `json:"stats"`
+// Health is the /v1/healthz response. Capacity and InFlight are what a
+// dispatcher shards by: Capacity is the daemon's global simulation
+// worker-slot count (the most cold cells it will run concurrently),
+// InFlight the number of expand requests currently being served.
+// Physics lets a dispatcher refuse mixed-physics fleets — results
+// simulated under different physics versions must never merge into one
+// campaign.
+type Health struct {
+	OK       bool   `json:"ok"`
+	Physics  string `json:"physics"`
+	Records  int    `json:"records"`
+	Stats    string `json:"stats"`
+	Capacity int    `json:"capacity"`
+	InFlight int    `json:"inflight"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, r, http.StatusOK, healthResponse{
-		OK:      true,
-		Physics: s.st.Physics(),
-		Records: s.st.Len(),
-		Stats:   s.st.Stats().String(),
+	s.writeJSON(w, r, http.StatusOK, Health{
+		OK:       true,
+		Physics:  s.st.Physics(),
+		Records:  s.st.Len(),
+		Stats:    s.st.Stats().String(),
+		Capacity: cap(s.sem),
+		InFlight: int(s.inflight.Load()),
 	})
 }
 
 // jsonMetric/jsonRecord mirror the store's wire form: decimal value
 // for humans, IEEE-754 bits for clients that need the exact float.
+// The decimal mirror is best-effort — JSON cannot carry NaN/Inf, so
+// exactly those drop the value field (a pointer, so finite zeros stay)
+// and the bits alone are authoritative; encoding NaN as a number would
+// abort the whole response encode mid-body.
 type jsonMetric struct {
-	Name  string  `json:"name"`
-	Value float64 `json:"value"`
-	Bits  string  `json:"bits"`
+	Name  string   `json:"name"`
+	Value *float64 `json:"value,omitempty"`
+	Bits  string   `json:"bits"`
+}
+
+// toJSONMetrics renders metrics in the shared wire form used by both
+// /v1/results and the explicit-expand response, so the two surfaces
+// cannot drift.
+func toJSONMetrics(ms sweep.Metrics) []jsonMetric {
+	out := make([]jsonMetric, 0, len(ms))
+	for _, m := range ms {
+		jm := jsonMetric{
+			Name: m.Name,
+			Bits: fmt.Sprintf("%016x", math.Float64bits(m.Value)),
+		}
+		if v := m.Value; !math.IsNaN(v) && !math.IsInf(v, 0) {
+			jm.Value = &v
+		}
+		out = append(out, jm)
+	}
+	return out
 }
 
 type jsonRecord struct {
@@ -203,13 +249,7 @@ func toJSONRecord(rec store.Record) jsonRecord {
 		Threads:  rec.Scenario.Threads,
 		Seed:     rec.Scenario.Seed,
 	}
-	for _, m := range rec.Metrics {
-		jr.Metrics = append(jr.Metrics, jsonMetric{
-			Name:  m.Name,
-			Value: m.Value,
-			Bits:  fmt.Sprintf("%016x", math.Float64bits(m.Value)),
-		})
-	}
+	jr.Metrics = toJSONMetrics(rec.Metrics)
 	return jr
 }
 
@@ -243,45 +283,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // GridSpec is the expand request body: the same axes cmd/sweep's flags
-// declare, with modes and meshes by name. Empty axes mean the runner
-// default, exactly as in sweep.Grid.
-type GridSpec struct {
-	Machines  []string `json:"machines"`
-	Workloads []string `json:"workloads"`
-	Modes     []string `json:"modes"`
-	Ranks     []int    `json:"ranks"`
-	Meshes    []string `json:"meshes"`
-	Threads   []int    `json:"threads"`
-	MaxRows   int      `json:"maxrows"`
-	Seed      uint64   `json:"seed"`
-}
-
-// Grid validates the spec and resolves it, through the same shared
-// axis validators cmd/sweep's flags use, so the CLI and the HTTP API
-// accept identical grids.
-func (g GridSpec) Grid() (sweep.Grid, error) {
-	grid := sweep.Grid{
-		Machines:  g.Machines,
-		Workloads: g.Workloads,
-		Ranks:     g.Ranks,
-		Threads:   g.Threads,
-		MaxRows:   g.MaxRows,
-		Seed:      g.Seed,
-	}
-	if err := workload.ValidateAxes(g.Machines, g.Workloads); err != nil {
-		return sweep.Grid{}, err
-	}
-	var err error
-	if grid.Modes, err = sweep.ModesByName(g.Modes); err != nil {
-		return sweep.Grid{}, err
-	}
-	if grid.Meshes, err = sweep.ParseMeshes(g.Meshes); err != nil {
-		return sweep.Grid{}, err
-	}
-	return grid, nil
-}
+// declare, with modes and meshes by name — or, in its explicit form,
+// canonical scenario keys to execute verbatim. It is the shared
+// sweep.GridSpec, so the CLI and the HTTP API validate grids through
+// one code path.
+type GridSpec = sweep.GridSpec
 
 func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	var spec GridSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -289,13 +299,33 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "bad grid spec: %v", err)
 		return
 	}
-	grid, err := spec.Grid()
-	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, "%v", err)
-		return
+	var scenarios []sweep.Scenario
+	explicit := spec.IsExplicit()
+	if explicit {
+		// Explicit form: the dispatch protocol hands this worker cells
+		// it has never seen, as canonical keys. Malformed keys and
+		// mixed-form specs are client errors; per-scenario resolution
+		// failures (unknown machine, bad ranks) surface as per-cell
+		// results, exactly as in a grid expand.
+		var err error
+		if scenarios, err = spec.Explicit(); err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		grid, err := spec.Resolve(workload.ValidateAxes)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if n := grid.Size(); n > maxCells {
+			s.writeError(w, r, http.StatusBadRequest, "grid has %d cells, limit %d", n, maxCells)
+			return
+		}
+		scenarios = grid.Expand()
 	}
-	if n := grid.Size(); n > maxCells {
-		s.writeError(w, r, http.StatusBadRequest, "grid has %d cells, limit %d", n, maxCells)
+	if n := len(scenarios); n > maxCells {
+		s.writeError(w, r, http.StatusBadRequest, "%d scenarios, limit %d", n, maxCells)
 		return
 	}
 	// The campaign runs under the request context: a client that
@@ -309,7 +339,7 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.ExpandTimeout)
 		defer cancel()
 	}
-	c := s.eng.RunContext(ctx, grid, s.runner)
+	c := s.eng.RunScenariosContext(ctx, scenarios, s.runner)
 	// Durability before acknowledgement: a 200 without X-Store-Error
 	// asserts every result in the body is durable. The engine memoizer
 	// can serve results whose write-through failed — in this request
@@ -365,7 +395,51 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Expand-Incomplete", reason)
 	}
 	w.WriteHeader(http.StatusOK)
+	if explicit {
+		if err := encodeExecuteResponse(w, s.st.Physics(), c); err != nil {
+			s.logf("sweepd: POST /v1/expand: writing results: %v", err)
+		}
+		return
+	}
 	if err := (sweep.JSONEmitter{Indent: true}).Emit(w, c); err != nil {
 		s.logf("sweepd: POST /v1/expand: writing campaign: %v", err)
 	}
+}
+
+// executeResponse is the explicit-form expand response: one result per
+// requested scenario, in request order. Metric values carry their
+// IEEE-754 bits so the dispatcher's merged campaign is bit-exact with
+// a local run; Unstarted distinguishes cells this worker was cancelled
+// out of (re-dispatchable) from genuine simulation failures (final).
+type executeResponse struct {
+	Physics string          `json:"physics"`
+	Results []executeResult `json:"results"`
+}
+
+type executeResult struct {
+	ID        string       `json:"id"`
+	Key       string       `json:"key"`
+	Unstarted bool         `json:"unstarted,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Metrics   []jsonMetric `json:"metrics,omitempty"`
+}
+
+func encodeExecuteResponse(w io.Writer, physics string, c sweep.Campaign) error {
+	resp := executeResponse{
+		Physics: physics,
+		Results: make([]executeResult, 0, len(c.Results)),
+	}
+	for _, res := range c.Results {
+		er := executeResult{ID: res.ID, Key: res.Scenario.Key()}
+		if res.Err != nil {
+			er.Error = res.Err.Error()
+			er.Unstarted = errors.Is(res.Err, sweep.ErrUnstarted)
+		} else {
+			er.Metrics = toJSONMetrics(res.Metrics)
+		}
+		resp.Results = append(resp.Results, er)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
 }

@@ -186,7 +186,7 @@ func TestServerEndToEnd(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("healthz status %d", status)
 	}
-	var h healthResponse
+	var h Health
 	if err := json.Unmarshal(hb, &h); err != nil {
 		t.Fatal(err)
 	}
