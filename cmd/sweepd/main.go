@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"cloversim"
+	"cloversim/internal/memsim"
 	"cloversim/internal/store"
 	"cloversim/internal/sweepd"
 )
@@ -63,11 +64,17 @@ func main() {
 		workers       = flag.Int("workers", 0, "max concurrent cold-cell simulations across all requests (0 = GOMAXPROCS)")
 		expandTimeout = flag.Duration("expand-timeout", 0, "per-request deadline for POST /v1/expand (0 = no server-side deadline)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before aborting them")
+		analytic      = flag.String("analytic", "auto", "memsim analytic fast path: auto, off or force — all three simulate identical physics, so workers with different settings still produce store-compatible results")
 	)
 	flag.Parse()
 	if *storeDir == "" {
 		fatal(errors.New("-store is required"))
 	}
+	amode, err := memsim.ParseAnalyticMode(*analytic)
+	if err != nil {
+		fatal(err)
+	}
+	memsim.DefaultAnalytic = amode
 
 	st, err := store.Open(*storeDir, cloversim.PhysicsVersion)
 	if err != nil {

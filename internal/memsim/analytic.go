@@ -1,0 +1,470 @@
+package memsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the analytic tier above AccessRange: a closed-form
+// transfer function for *regular* sequential runs that computes the
+// hit/miss/evict/write-allocate counters AND the resulting cache state
+// (tags, dirty bits, LRU stamps, per-level clocks — bit-identical, which
+// the differential and fuzz suites in analytic_test.go enforce) by set
+// arithmetic instead of simulating line by line.
+//
+// A run start..start+n-1 of one kind is "regular" when its outcome is
+// closed-form per set:
+//
+//   - every run line is absent from every level it would probe (mixed
+//     residency falls back; for the claims, residency in the *target*
+//     level is fine — a claim-hit is a pure LRU refresh + dirty mark);
+//   - loads see no prefetcher interaction (stream and adjacent-line
+//     prefetchers off), store-side kinds never prefetch by construction;
+//   - no eviction the run performs may cascade into another level: dirty
+//     pre-existing occupancy in a touched L1/L2 set would write back on
+//     eviction (falls back), and dirty *installs* (RFO and the claims)
+//     must not self-evict where the write-back is not terminal — RFO runs
+//     are bounded to one L1 fill per set, ClaimL2 runs to one L2 fill.
+//
+// Within that class the per-set behaviour is exact: installs consume the
+// set in victim order (empty ways above way 0 first, then resident ways
+// by LRU stamp — the precise order victim()/installFast use), and once
+// every way holds a line of the run the replacement degenerates to FIFO
+// rotation, so the middle of a long run is a pure counter update and only
+// the trailing `ways` lines of each set are materialized. Cost is
+// O(touched sets x ways), independent of run length.
+//
+// Everything semantic is reproduced exactly; the search-acceleration
+// state (presence filters, victim queues, way predictors) is allowed to
+// diverge — filters are rebuilt exactly per touched set, victim-queue
+// entries self-invalidate through their stamp checks, predictors are
+// hints. The differential suite compares semantic state only.
+
+// AnalyticMode selects how AccessRange uses the analytic tier.
+type AnalyticMode uint8
+
+const (
+	// AnalyticAuto takes the analytic path when a run is regular AND
+	// long enough that the predicate scan is cheaper than simulating.
+	AnalyticAuto AnalyticMode = iota
+	// AnalyticOff always simulates (the reference behaviour).
+	AnalyticOff
+	// AnalyticForce takes the analytic path whenever the regularity
+	// predicate holds, regardless of profitability. Correctness never
+	// depends on the mode: irregular runs still fall back.
+	AnalyticForce
+)
+
+func (m AnalyticMode) String() string {
+	switch m {
+	case AnalyticAuto:
+		return "auto"
+	case AnalyticOff:
+		return "off"
+	case AnalyticForce:
+		return "force"
+	}
+	return "unknown"
+}
+
+// ParseAnalyticMode parses the -analytic flag values.
+func ParseAnalyticMode(s string) (AnalyticMode, error) {
+	switch s {
+	case "auto":
+		return AnalyticAuto, nil
+	case "off":
+		return AnalyticOff, nil
+	case "force":
+		return AnalyticForce, nil
+	}
+	return AnalyticAuto, fmt.Errorf("memsim: bad analytic mode %q (want auto, off or force)", s)
+}
+
+// DefaultAnalytic is the mode New installs on fresh hierarchies. Set it
+// (e.g. from a CLI flag) before simulations start; it is read, never
+// written, by concurrent workers.
+var DefaultAnalytic = AnalyticAuto
+
+// FallbackReason says why a run was simulated instead of solved
+// analytically. The fallback-coverage tests pin each reason to the
+// irregularity that triggers it, so the predicate can neither rot into
+// "always fallback" nor silently widen.
+type FallbackReason uint8
+
+const (
+	// FallbackPrefetch: a load run with the stream or adjacent-line
+	// prefetcher active (prefetch state machines are not closed-form).
+	FallbackPrefetch FallbackReason = iota
+	// FallbackShort: AnalyticAuto only — the run is too short for the
+	// predicate scan to pay for itself.
+	FallbackShort
+	// FallbackResident: some run line is already resident in a level
+	// where the analytic form needs absence (mixed residency).
+	FallbackResident
+	// FallbackDirty: a touched L1/L2 set holds a dirty line whose
+	// eviction would cascade a write-back into another level.
+	FallbackDirty
+	// FallbackOverflow: a dirty-installing run would self-evict where
+	// the write-back is not terminal (RFO past one L1 fill per set,
+	// ClaimL2 past one L2 fill), the line range overflows, or the
+	// geometry is outside the analytic tier's limits.
+	FallbackOverflow
+	// NumFallbackReasons sizes AnalyticStats.Fallback.
+	NumFallbackReasons
+)
+
+func (r FallbackReason) String() string {
+	switch r {
+	case FallbackPrefetch:
+		return "prefetch"
+	case FallbackShort:
+		return "short"
+	case FallbackResident:
+		return "resident"
+	case FallbackDirty:
+		return "dirty"
+	case FallbackOverflow:
+		return "overflow"
+	}
+	return "unknown"
+}
+
+// AnalyticStats counts analytic-taken vs fallback-simulated runs.
+type AnalyticStats struct {
+	TakenRuns  int64 // runs served by the analytic tier
+	TakenLines int64 // line accesses those runs covered
+	Fallback   [NumFallbackReasons]int64
+}
+
+// FallbackRuns returns the total runs that fell back to simulation.
+func (s AnalyticStats) FallbackRuns() int64 {
+	var t int64
+	for _, c := range s.Fallback {
+		t += c
+	}
+	return t
+}
+
+// SetAnalytic selects the analytic mode for this hierarchy.
+func (h *Hierarchy) SetAnalytic(m AnalyticMode) { h.amode = m }
+
+// Analytic returns the hierarchy's analytic mode.
+func (h *Hierarchy) Analytic() AnalyticMode { return h.amode }
+
+// AnalyticStats returns the analytic-taken/fallback counters.
+func (h *Hierarchy) AnalyticStats() AnalyticStats { return h.astats }
+
+// ResetAnalyticStats clears the analytic counters.
+func (h *Hierarchy) ResetAnalyticStats() { h.astats = AnalyticStats{} }
+
+// analyticSetup computes the profitability threshold and geometry gate
+// at construction time.
+func (h *Hierarchy) analyticSetup() {
+	h.amode = DefaultAnalytic
+	cap1 := int64(h.l1.sets) * int64(h.l1.ways)
+	cap2 := int64(h.l2.sets) * int64(h.l2.ways)
+	cap3 := int64(h.l3.sets) * int64(h.l3.ways)
+	// The predicate scans + per-set transfers touch every cached line
+	// once; below roughly one full cache of lines the simulated batched
+	// path wins (measured by the *StreamRange benchmarks).
+	h.aMin = cap1 + cap2 + cap3
+	// The per-set transfer tracks way occupancy in a 64-bit mask.
+	h.aHuge = h.l1.ways > 64 || h.l2.ways > 64 || h.l3.ways > 64
+}
+
+// tryAnalytic attempts the analytic transfer for one run, returning
+// true when it fully applied (counters and cache state updated). On
+// false nothing was mutated and the caller must simulate.
+func (h *Hierarchy) tryAnalytic(start, n int64, kind AccessKind) bool {
+	if h.aHuge || start > math.MaxInt64-n {
+		return h.fallback(FallbackOverflow)
+	}
+	// A uint32 LRU-clock wrap mid-run would let per-line victim()
+	// prefer the run's own (wrapped, tiny) stamps over older residents;
+	// the closed form assumes fresh stamps always order after old ones,
+	// so a run that would wrap any level's clock is simulated instead.
+	if uint64(h.l1.clock)+uint64(n) > math.MaxUint32 ||
+		uint64(h.l2.clock)+uint64(n) > math.MaxUint32 ||
+		uint64(h.l3.clock)+uint64(n) > math.MaxUint32 {
+		return h.fallback(FallbackOverflow)
+	}
+	if h.amode == AnalyticAuto && n < h.aMin {
+		return h.fallback(FallbackShort)
+	}
+	switch kind {
+	case AccessLoad:
+		if h.pfOn || h.adjacentOn {
+			return h.fallback(FallbackPrefetch)
+		}
+		return h.analyticAccess(start, n, false)
+	case AccessRFO, AccessWriteNTReverted:
+		return h.analyticAccess(start, n, true)
+	case AccessClaimI2M:
+		return h.analyticClaimI2M(start, n)
+	case AccessClaimL2:
+		return h.analyticClaimL2(start, n)
+	}
+	return false
+}
+
+// fallback records the reason and reports "not taken".
+func (h *Hierarchy) fallback(r FallbackReason) bool {
+	h.astats.Fallback[r]++
+	return false
+}
+
+// taken records one analytic-served run.
+func (h *Hierarchy) taken(n int64) bool {
+	h.astats.TakenRuns++
+	h.astats.TakenLines += n
+	return true
+}
+
+// analyticAccess is the transfer function for the demand kinds (Load,
+// RFO, WriteNTReverted — dirty distinguishes store from load): every
+// line misses all three levels, reads memory once, and installs through
+// L3/L2/L1; evictions are silent (empty or clean victims, and the run's
+// own lines are installed clean except at L1) except dirty pre-existing
+// L3 victims, which write back to memory.
+func (h *Hierarchy) analyticAccess(start, n int64, dirty bool) bool {
+	if dirty && (n+int64(h.l1.sets)-1)/int64(h.l1.sets) > int64(h.l1.ways) {
+		// A store run past one L1 fill per set would evict its own dirty
+		// lines into L2 — a cascade the closed form does not model.
+		return h.fallback(FallbackOverflow)
+	}
+	if r, ok := h.l1.scanRegular(start, n, true, true); !ok {
+		return h.fallback(r)
+	}
+	if r, ok := h.l2.scanRegular(start, n, true, true); !ok {
+		return h.fallback(r)
+	}
+	if r, ok := h.l3.scanRegular(start, n, true, false); !ok {
+		return h.fallback(r)
+	}
+	h.c.MemReadLines += n
+	h.c.MemWriteLines += h.l3.applyRun(start, n, false, true, false)
+	h.l2.applyRun(start, n, false, false, false)
+	h.l1.applyRun(start, n, dirty, false, false)
+	return h.taken(n)
+}
+
+// analyticClaimI2M is the transfer for SpecI2M claim runs: lines must
+// be absent from the private levels (a resident copy is dropped per
+// line — mixed residency), L3-resident lines are refreshed and marked
+// dirty, absent lines install dirty, and every eviction of a dirty L3
+// line (pre-existing or the run's own under FIFO rotation) writes back
+// to memory.
+func (h *Hierarchy) analyticClaimI2M(start, n int64) bool {
+	if r, ok := h.l1.scanRegular(start, n, true, false); !ok {
+		return h.fallback(r)
+	}
+	if r, ok := h.l2.scanRegular(start, n, true, false); !ok {
+		return h.fallback(r)
+	}
+	h.c.ItoMLines += n
+	h.c.MemWriteLines += h.l3.applyRun(start, n, true, true, true)
+	return h.taken(n)
+}
+
+// analyticClaimL2 is the transfer for A64FX cache-line-zero runs:
+// lines must be absent from L1, the run must fit one L2 fill per set
+// (its dirty installs must never self-evict — that write-back cascades
+// to L3), and no touched L2 set may hold any dirty line for the same
+// reason. L2-resident clean run lines are refreshed and marked dirty.
+func (h *Hierarchy) analyticClaimL2(start, n int64) bool {
+	if (n+int64(h.l2.sets)-1)/int64(h.l2.sets) > int64(h.l2.ways) {
+		return h.fallback(FallbackOverflow)
+	}
+	if r, ok := h.l1.scanRegular(start, n, true, false); !ok {
+		return h.fallback(r)
+	}
+	if r, ok := h.l2.scanRegular(start, n, false, true); !ok {
+		return h.fallback(r)
+	}
+	h.c.ItoMLines += n
+	h.l2.applyRun(start, n, true, false, true)
+	return h.taken(n)
+}
+
+// scanRegular checks the level's part of the regularity predicate over
+// the sets the run touches: banResident rejects resident run lines,
+// banDirty rejects any dirty occupancy (its eviction would cascade).
+// Read-only; cost O(min(n, sets) x ways).
+func (l *level) scanRegular(start, n int64, banResident, banDirty bool) (FallbackReason, bool) {
+	touched := int64(l.sets)
+	if n < touched {
+		touched = n
+	}
+	si := int(start & l.mask)
+	end := start + n
+	for t := int64(0); t < touched; t++ {
+		set := si * l.ways
+		for w := 0; w < l.ways; w++ {
+			tag := l.tags[set+w]
+			if tag < 0 {
+				continue
+			}
+			if banResident && tag >= start && tag < end {
+				return FallbackResident, false
+			}
+			if banDirty && l.dirty[set+w] {
+				return FallbackDirty, false
+			}
+		}
+		si = (si + 1) & int(l.mask)
+	}
+	return 0, true
+}
+
+// applyRun applies one run's installs (and, for allowHits, refreshes)
+// to every touched set of the level and returns the number of dirty
+// lines evicted (counted only when countDirty — the terminal level).
+// The level's clock advances by exactly n, and the i-th line of the run
+// gets stamp clock0+i+1 — the precise values the per-line path assigns.
+func (l *level) applyRun(start, n int64, installDirty, countDirty, allowHits bool) int64 {
+	clk0 := l.clock
+	l.clock += uint32(n)
+	S := int64(l.sets)
+	touched := S
+	if n < touched {
+		touched = n
+	}
+	var memWrites int64
+	si := int(start & l.mask)
+	for t := int64(0); t < touched; t++ {
+		// The t-th touched set first sees run index t, then every S-th
+		// index after it.
+		k := (n - t + S - 1) / S
+		memWrites += l.applySet(si, start, t, S, k, clk0, installDirty, countDirty, allowHits)
+		si = (si + 1) & int(l.mask)
+	}
+	return memWrites
+}
+
+// applySet replays one set's k installs/refreshes exactly, in victim
+// order, with FIFO fast-forward once the whole set belongs to the run.
+// idx0 is the run index of the set's first line; stamps follow the
+// global per-line clock (clk0 + index + 1).
+func (l *level) applySet(si int, start, idx0, S, k int64, clk0 uint32, installDirty, countDirty, allowHits bool) int64 {
+	W := l.ways
+	set := si * W
+	tags := l.tags[set : set+W : set+W]
+	stamps := l.stamp[set : set+W]
+	dirt := l.dirty[set : set+W]
+
+	// Victim order: the exact sequence victim()/installFast consume the
+	// set in while any non-run way remains — empty ways above way 0 in
+	// ascending order, then every other way (including way 0, empty or
+	// not) by ascending stamp, ties to the lower way.
+	var order [64]uint8
+	on := 0
+	for w := 1; w < W; w++ {
+		if tags[w] == -1 {
+			order[on] = uint8(w)
+			on++
+		}
+	}
+	rest0 := on
+	for w := 0; w < W; w++ {
+		if w > 0 && tags[w] == -1 {
+			continue
+		}
+		i := on
+		for ; i > rest0 && stamps[order[i-1]] > stamps[w]; i-- {
+			order[i] = order[i-1]
+		}
+		order[i] = uint8(w)
+		on++
+	}
+
+	var ring [64]uint8 // ways in the order they became run-owned
+	rn := 0
+	oi := 0
+	head := 0
+	var freshMask uint64
+	oldCount := 0
+	if allowHits {
+		for w := 0; w < W; w++ {
+			if tags[w] != -1 {
+				oldCount++
+			}
+		}
+	}
+
+	var memWrites int64
+	for j := int64(0); j < k; j++ {
+		idx := idx0 + j*S
+		line := start + idx
+		st := clk0 + uint32(idx) + 1
+
+		if allowHits && oldCount > 0 {
+			if w := scanTags(tags, line); w >= 0 {
+				// Claim-hit: pure LRU refresh + dirty mark, exactly like
+				// the per-line lookup path.
+				stamps[w] = st
+				dirt[w] = true
+				freshMask |= 1 << uint(w)
+				oldCount--
+				ring[rn] = uint8(w)
+				rn++
+				continue
+			}
+		}
+
+		// Skip order entries consumed by claim-hit refreshes.
+		for oi < W && freshMask&(1<<uint(order[oi])) != 0 {
+			oi++
+		}
+		if oi < W {
+			w := int(order[oi])
+			oi++
+			if tags[w] != -1 {
+				if countDirty && dirt[w] {
+					memWrites++
+				}
+				if allowHits {
+					oldCount--
+				}
+			}
+			tags[w] = line
+			dirt[w] = installDirty
+			stamps[w] = st
+			freshMask |= 1 << uint(w)
+			ring[rn] = uint8(w)
+			rn++
+			continue
+		}
+
+		// Every way holds a run line: replacement is FIFO rotation over
+		// the ring. Fast-forward the middle — each skipped install
+		// evicts one run line (dirty only for dirty-installing kinds) —
+		// and materialize only the trailing W installs.
+		if remaining := k - j; remaining > int64(W) {
+			skip := remaining - int64(W)
+			if installDirty && countDirty {
+				memWrites += skip
+			}
+			head = int((int64(head) + skip) % int64(W))
+			j += skip
+			idx = idx0 + j*S
+			line = start + idx
+			st = clk0 + uint32(idx) + 1
+		}
+		w := int(ring[head])
+		head = (head + 1) % W
+		if installDirty && countDirty {
+			memWrites++
+		}
+		tags[w] = line
+		dirt[w] = installDirty
+		stamps[w] = st
+	}
+
+	// Exact presence-filter rebuild for the touched set (a superset is
+	// required; exact is cheapest to reason about). Victim queues and
+	// way predictors self-correct: queue entries validate by stamp and
+	// every surviving pre-existing way kept its stamp precisely because
+	// it was never this set's LRU.
+	l.rebuild(si, tags)
+	return memWrites
+}

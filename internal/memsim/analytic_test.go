@@ -1,0 +1,414 @@
+package memsim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"cloversim/internal/machine"
+)
+
+// The analytic tier's contract is bit-exactness: Counts AND semantic
+// cache state (tags, dirty bits, LRU stamps, per-level clocks) must be
+// indistinguishable from the per-line reference, whichever mix of
+// analytic-taken and fallback-simulated runs a trace produces. The
+// suites below enforce it over randomized tiny geometries (so a few
+// hundred lines sweep a whole hierarchy through fill, conflict and
+// steady state), every access kind, and the boundary run lengths the
+// closed form special-cases.
+
+// tinySpec builds a machine spec whose memsim hierarchy has exactly the
+// given per-level sets x ways (sets must be powers of two — newLevel
+// rounds down otherwise and the test would lie about its geometry).
+func tinySpec(l1s, l1w, l2s, l2w, l3s, l3w int) *machine.Spec {
+	s := machine.ICX8360Y()
+	s.Name = fmt.Sprintf("tiny-%dx%d-%dx%d-%dx%d", l1s, l1w, l2s, l2w, l3s, l3w)
+	s.L1 = machine.CacheGeom{SizeBytes: l1s * l1w * 64, Ways: l1w, LineBytes: 64}
+	s.L2 = machine.CacheGeom{SizeBytes: l2s * l2w * 64, Ways: l2w, LineBytes: 64}
+	s.L3 = machine.CacheGeom{SizeBytes: l3s * l3w * 64 * s.CoresPerSocket, Ways: l3w, LineBytes: 64}
+	s.L3SliceWays = l3w
+	return s
+}
+
+// levelState is one level's semantic state: everything the replacement
+// and write-back policies read. The search-acceleration state (filt,
+// vq, pred) is deliberately excluded — it is allowed to diverge.
+type levelState struct {
+	tags  []int64
+	dirty []bool
+	stamp []uint32
+	clock uint32
+}
+
+func captureState(h *Hierarchy) [3]levelState {
+	var out [3]levelState
+	for i, l := range []*level{h.l1, h.l2, h.l3} {
+		out[i] = levelState{
+			tags:  append([]int64(nil), l.tags...),
+			dirty: append([]bool(nil), l.dirty...),
+			stamp: append([]uint32(nil), l.stamp...),
+			clock: l.clock,
+		}
+	}
+	return out
+}
+
+// diffState returns "" when equal, else a description of the first
+// diverging level.
+func diffState(got, want [3]levelState) string {
+	names := [3]string{"L1", "L2", "L3"}
+	for i := range got {
+		if got[i].clock != want[i].clock {
+			return fmt.Sprintf("%s clock %d != %d", names[i], got[i].clock, want[i].clock)
+		}
+		for s := range got[i].tags {
+			if got[i].tags[s] != want[i].tags[s] || got[i].dirty[s] != want[i].dirty[s] ||
+				got[i].stamp[s] != want[i].stamp[s] {
+				return fmt.Sprintf("%s slot %d: got tag=%d dirty=%t stamp=%d, want tag=%d dirty=%t stamp=%d",
+					names[i], s, got[i].tags[s], got[i].dirty[s], got[i].stamp[s],
+					want[i].tags[s], want[i].dirty[s], want[i].stamp[s])
+			}
+		}
+	}
+	return ""
+}
+
+// replayFull runs a trace, captures counts + semantic state, then
+// probes the residual state through the public per-line API (a load
+// sweep whose hit/miss pattern depends on every resident line) and
+// flushes (whose write-back count depends on every dirty bit).
+func replayFull(spec *machine.Spec, pfOn bool, mode AnalyticMode, probe int64,
+	trace []pattern, usePerLine bool) (mid Counts, st [3]levelState, fin Counts, as AnalyticStats) {
+	h := New(spec)
+	h.SetPrefetch(pfOn)
+	h.SetAnalytic(mode)
+	for _, p := range trace {
+		if usePerLine {
+			perLine(h, p.start, p.n, p.kind)
+		} else {
+			h.AccessRange(p.start, p.n, p.kind)
+		}
+	}
+	mid, st, as = h.Counts(), captureState(h), h.AnalyticStats()
+	for line := int64(0); line < probe; line++ {
+		h.Load(line)
+	}
+	h.Flush()
+	return mid, st, h.Counts(), as
+}
+
+// TestAnalyticDifferential sweeps randomized tiny geometries x all
+// seven access kinds x the boundary run lengths {1, ways-1, ways,
+// sets x ways, > cache} per level, each run preceded by a random
+// prelude that leaves mixed clean/dirty residency, and asserts the
+// analytic path (forced, auto, and off) is bit-identical to the
+// per-line reference in counts, semantic state, and post-probe
+// behaviour.
+func TestAnalyticDifferential(t *testing.T) {
+	r := &rng{s: 0xA11A}
+	var taken, fell int64
+	for g := 0; g < 6; g++ {
+		l1s, l1w := 1<<(r.next()%3), int(r.next()%4)+1
+		l2s, l2w := 1<<(r.next()%3+1), int(r.next()%6)+1
+		l3s, l3w := 1<<(r.next()%4+1), int(r.next()%8)+1
+		spec := tinySpec(l1s, l1w, l2s, l2w, l3s, l3w)
+		cache := int64(l1s*l1w + l2s*l2w + l3s*l3w)
+		lens := []int64{1, int64(l1w) - 1, int64(l1w), int64(l1s * l1w),
+			int64(l2s * l2w), int64(l3s * l3w), cache, 2*cache + 7}
+		span := int64(256)
+		for _, pfOn := range []bool{true, false} {
+			for _, kind := range allKinds {
+				for _, n := range lens {
+					if n <= 0 {
+						continue
+					}
+					trace := make([]pattern, 0, 18)
+					for i := 0; i < 16; i++ {
+						trace = append(trace, pattern{
+							start: int64(r.next() % uint64(span)),
+							n:     int64(r.next()%24) + 1,
+							kind:  allKinds[r.next()%uint64(len(allKinds))],
+						})
+					}
+					// One run in dirtied territory, one far away on
+					// clean sets.
+					trace = append(trace,
+						pattern{start: int64(r.next() % uint64(span)), n: n, kind: kind},
+						pattern{start: 4 * span, n: n, kind: kind})
+
+					wm, ws, wf, _ := replayFull(spec, pfOn, AnalyticOff, 2*span, trace, true)
+					for _, mode := range []AnalyticMode{AnalyticForce, AnalyticAuto, AnalyticOff} {
+						gm, gs, gf, as := replayFull(spec, pfOn, mode, 2*span, trace, false)
+						if gm != wm {
+							t.Fatalf("%s pf=%t %v n=%d mode=%v: counts diverge\nanalytic: %+v\nper-line: %+v",
+								spec.Name, pfOn, kind, n, mode, gm, wm)
+						}
+						if d := diffState(gs, ws); d != "" {
+							t.Fatalf("%s pf=%t %v n=%d mode=%v: state diverges: %s",
+								spec.Name, pfOn, kind, n, mode, d)
+						}
+						if gf != wf {
+							t.Fatalf("%s pf=%t %v n=%d mode=%v: post-probe counts diverge\nanalytic: %+v\nper-line: %+v",
+								spec.Name, pfOn, kind, n, mode, gf, wf)
+						}
+						if mode == AnalyticForce {
+							taken += as.TakenRuns
+							fell += as.FallbackRuns()
+						} else if mode == AnalyticOff && (as.TakenRuns != 0 || as.FallbackRuns() != 0) {
+							t.Fatalf("AnalyticOff recorded analytic activity: %+v", as)
+						}
+					}
+				}
+			}
+		}
+	}
+	// The suite must exercise BOTH sides of the predicate, or it proves
+	// nothing about either.
+	if taken == 0 {
+		t.Fatal("differential suite never took the analytic path")
+	}
+	if fell == 0 {
+		t.Fatal("differential suite never exercised a fallback")
+	}
+}
+
+// TestAnalyticFallbackReasons pins each documented irregularity to the
+// fallback reason it must trigger — and the regular shapes to
+// analytic-taken — so the predicate can neither rot into
+// "always fallback" nor silently widen past what the closed form
+// handles. Every case is also differentially checked against the
+// per-line reference.
+func TestAnalyticFallbackReasons(t *testing.T) {
+	// L1 2 sets x 2 ways, L2 4x2, L3 4x4: 28 lines total, so aMin = 28.
+	mk := func() *machine.Spec { return tinySpec(2, 2, 4, 2, 4, 4) }
+	cases := []struct {
+		name   string
+		pfOn   bool
+		mode   AnalyticMode
+		setup  []pattern
+		run    pattern
+		taken  bool
+		reason FallbackReason
+	}{
+		{name: "load-prefetch-on", pfOn: true, mode: AnalyticForce,
+			run: pattern{0, 64, AccessLoad}, reason: FallbackPrefetch},
+		{name: "auto-short-run", mode: AnalyticAuto,
+			run: pattern{0, 8, AccessLoad}, reason: FallbackShort},
+		{name: "mixed-residency", mode: AnalyticForce,
+			setup: []pattern{{0, 64, AccessLoad}},
+			run:   pattern{32, 64, AccessLoad}, reason: FallbackResident},
+		{name: "dirty-private-set", mode: AnalyticForce,
+			setup: []pattern{{0, 1, AccessRFO}},
+			run:   pattern{64, 64, AccessLoad}, reason: FallbackDirty},
+		{name: "rfo-l1-self-evict", mode: AnalyticForce,
+			run: pattern{0, 5, AccessRFO}, reason: FallbackOverflow},
+		{name: "claiml2-l2-self-evict", mode: AnalyticForce,
+			run: pattern{0, 9, AccessClaimL2}, reason: FallbackOverflow},
+		{name: "load-regular", mode: AnalyticForce,
+			run: pattern{0, 64, AccessLoad}, taken: true},
+		{name: "load-auto-long", mode: AnalyticAuto,
+			run: pattern{0, 28, AccessLoad}, taken: true},
+		{name: "rfo-regular", mode: AnalyticForce,
+			run: pattern{0, 4, AccessRFO}, taken: true},
+		{name: "ntreverted-regular", mode: AnalyticForce,
+			run: pattern{0, 4, AccessWriteNTReverted}, taken: true},
+		{name: "claimi2m-regular", mode: AnalyticForce,
+			run: pattern{0, 64, AccessClaimI2M}, taken: true},
+		{name: "claimi2m-l3-resident-ok", mode: AnalyticForce,
+			setup: []pattern{{0, 64, AccessClaimI2M}},
+			run:   pattern{48, 32, AccessClaimI2M}, taken: true},
+		{name: "claiml2-regular", mode: AnalyticForce,
+			run: pattern{0, 8, AccessClaimL2}, taken: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(h *Hierarchy, per bool) {
+				h.SetPrefetch(tc.pfOn)
+				for _, p := range tc.setup {
+					h.AccessRange(p.start, p.n, p.kind)
+				}
+				h.ResetAnalyticStats()
+				if per {
+					perLine(h, tc.run.start, tc.run.n, tc.run.kind)
+				} else {
+					h.AccessRange(tc.run.start, tc.run.n, tc.run.kind)
+				}
+			}
+			h := New(mk())
+			h.SetAnalytic(tc.mode)
+			run(h, false)
+			as := h.AnalyticStats()
+			if tc.taken {
+				if as.TakenRuns != 1 || as.FallbackRuns() != 0 {
+					t.Fatalf("want analytic-taken, got %+v", as)
+				}
+				if as.TakenLines != tc.run.n {
+					t.Fatalf("taken lines %d, want %d", as.TakenLines, tc.run.n)
+				}
+			} else {
+				if as.TakenRuns != 0 {
+					t.Fatalf("want fallback %v, but run was taken: %+v", tc.reason, as)
+				}
+				if as.Fallback[tc.reason] != 1 {
+					t.Fatalf("want fallback %v exactly once, got %+v", tc.reason, as)
+				}
+			}
+			ref := New(mk())
+			ref.SetAnalytic(AnalyticOff)
+			run(ref, true)
+			if g, w := h.Counts(), ref.Counts(); g != w {
+				t.Fatalf("counts diverge from per-line: %+v vs %+v", g, w)
+			}
+			if d := diffState(captureState(h), captureState(ref)); d != "" {
+				t.Fatalf("state diverges from per-line: %s", d)
+			}
+		})
+	}
+}
+
+// TestAnalyticClockWrapFallback: a run that would wrap a level's uint32
+// LRU clock must be simulated (the closed form assumes fresh stamps
+// order after old ones), and the wrapped simulation must still match
+// per-line exactly.
+func TestAnalyticClockWrapFallback(t *testing.T) {
+	mkWrapped := func() *Hierarchy {
+		h := New(tinySpec(2, 2, 4, 2, 4, 4))
+		h.SetPrefetch(false)
+		h.l1.clock = math.MaxUint32 - 10
+		return h
+	}
+	h := mkWrapped()
+	h.SetAnalytic(AnalyticForce)
+	h.AccessRange(0, 64, AccessLoad)
+	if as := h.AnalyticStats(); as.TakenRuns != 0 || as.Fallback[FallbackOverflow] != 1 {
+		t.Fatalf("near-wrap run not rejected: %+v", as)
+	}
+	ref := mkWrapped()
+	ref.SetAnalytic(AnalyticOff)
+	perLine(ref, 0, 64, AccessLoad)
+	if g, w := h.Counts(), ref.Counts(); g != w {
+		t.Fatalf("wrapped counts diverge: %+v vs %+v", g, w)
+	}
+	if d := diffState(captureState(h), captureState(ref)); d != "" {
+		t.Fatalf("wrapped state diverges: %s", d)
+	}
+}
+
+// TestAnalyticModeRoundTrip pins the flag spelling of the modes.
+func TestAnalyticModeRoundTrip(t *testing.T) {
+	for _, m := range []AnalyticMode{AnalyticAuto, AnalyticOff, AnalyticForce} {
+		got, err := ParseAnalyticMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round trip %v: got %v, err %v", m, got, err)
+		}
+	}
+	if _, err := ParseAnalyticMode("fast"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if DefaultAnalytic != AnalyticAuto {
+		t.Fatalf("DefaultAnalytic = %v, want auto", DefaultAnalytic)
+	}
+	h := New(machine.ICX8360Y())
+	if h.Analytic() != AnalyticAuto {
+		t.Fatalf("New did not adopt DefaultAnalytic: %v", h.Analytic())
+	}
+}
+
+// fuzzGeoms are the hierarchies FuzzAnalyticRange rotates through:
+// tiny enough that every batch sweeps whole levels, shaped to hit
+// direct-mapped, single-set and skewed-associativity corners.
+var fuzzGeoms = [4][6]int{
+	{2, 2, 4, 2, 4, 4},
+	{1, 3, 2, 4, 8, 2},
+	{4, 1, 4, 6, 2, 8},
+	{2, 4, 8, 1, 16, 3},
+}
+
+// analyticTrace draws batches biased toward the analytic boundary:
+// long eligible runs, ways+-1 and sets x ways lengths, aliasing wraps
+// through a small span, and kind switches mid-stream.
+func analyticTrace(seed uint64, batches int, l1w, cache int64) []pattern {
+	r := &rng{s: seed | 1}
+	out := make([]pattern, batches)
+	for i := range out {
+		p := pattern{kind: allKinds[r.next()%uint64(len(allKinds))]}
+		switch r.next() % 4 {
+		case 0: // long eligible run, usually on fresh sets
+			p.start = int64(r.next() % (1 << 12))
+			p.n = cache + int64(r.next()%uint64(2*cache))
+		case 1: // boundary lengths around the associativity
+			p.start = int64(r.next() % 64)
+			p.n = l1w + int64(r.next()%5) - 2
+		case 2: // aliasing wraps inside one small span
+			p.start = int64(r.next() % 32)
+			p.n = int64(r.next()%uint64(2*cache)) + 1
+		default: // short scattered churn
+			p.start = int64(r.next() % (1 << 12))
+			p.n = int64(r.next()%24) + 1
+		}
+		if p.n <= 0 {
+			p.n = 1
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// FuzzAnalyticRange fuzzes the four-way differential property — the
+// per-line reference vs AccessRange under off/auto/force — over traces
+// interleaving analytic-eligible and irregular runs. The committed
+// corpus under testdata/fuzz seeds the boundary cases the regularity
+// predicate guards.
+func FuzzAnalyticRange(f *testing.F) {
+	f.Add(uint64(1), uint8(8), false)
+	f.Add(uint64(0x5eed), uint8(24), true)
+	f.Add(uint64(0xA11A), uint8(40), false)
+	for i := range fuzzGeoms {
+		f.Add(uint64(i), uint8(16), i%2 == 0)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, batches uint8, pfOn bool) {
+		g := fuzzGeoms[seed%uint64(len(fuzzGeoms))]
+		spec := tinySpec(g[0], g[1], g[2], g[3], g[4], g[5])
+		cache := int64(g[0]*g[1] + g[2]*g[3] + g[4]*g[5])
+		trace := analyticTrace(seed, int(batches%48)+1, int64(g[1]), cache)
+		wm, ws, wf, _ := replayFull(spec, pfOn, AnalyticOff, 512, trace, true)
+		for _, mode := range []AnalyticMode{AnalyticForce, AnalyticAuto, AnalyticOff} {
+			gm, gs, gf, _ := replayFull(spec, pfOn, mode, 512, trace, false)
+			if gm != wm || gf != wf {
+				t.Fatalf("seed=%#x pf=%t mode=%v: counts diverge\nanalytic mid %+v fin %+v\nper-line mid %+v fin %+v",
+					seed, pfOn, mode, gm, gf, wm, wf)
+			}
+			if d := diffState(gs, ws); d != "" {
+				t.Fatalf("seed=%#x pf=%t mode=%v: state diverges: %s", seed, pfOn, mode, d)
+			}
+		}
+	})
+}
+
+// TestAnalyticStatsAccounting: taken + fallback runs must equal the
+// cache-state-bearing AccessRange calls of a trace (NT and
+// write-streamed batches are O(1) by nature and counted in neither
+// bucket), so the stats can drive honest fallback-rate reporting.
+func TestAnalyticStatsAccounting(t *testing.T) {
+	spec := tinySpec(2, 2, 4, 2, 4, 4)
+	h := New(spec)
+	h.SetPrefetch(false)
+	h.SetAnalytic(AnalyticForce)
+	trace := analyticTrace(0xACC7, 40, 2, 28)
+	var want int64
+	for _, p := range trace {
+		h.AccessRange(p.start, p.n, p.kind)
+		if p.kind != AccessWriteNT && p.kind != AccessWriteStreamed {
+			want++
+		}
+	}
+	as := h.AnalyticStats()
+	if got := as.TakenRuns + as.FallbackRuns(); got != want {
+		t.Fatalf("stats account for %d runs, want %d: %+v", got, want, as)
+	}
+	h.ResetAnalyticStats()
+	if !reflect.DeepEqual(h.AnalyticStats(), AnalyticStats{}) {
+		t.Fatal("ResetAnalyticStats left residue")
+	}
+}

@@ -10,6 +10,14 @@
 //
 // Hierarchy implements core.Backend, so the SpecI2M store engine of
 // internal/core drives it directly.
+//
+// Two implementations of the semantics coexist: the per-line/batched
+// simulation in this file and range.go, and the analytic closed-form
+// tier in analytic.go that solves regular sequential runs in O(sets x
+// ways). Any change to eviction order, write-allocate policy, LRU
+// stamping or the claim semantics MUST be made in both — the
+// differential and fuzz suites (range_test.go, analytic_test.go)
+// compare them bit-for-bit and will catch a one-sided edit.
 package memsim
 
 import (
@@ -456,6 +464,12 @@ type Hierarchy struct {
 	pfNext     int
 	pfDist     int64
 	adjacentOn bool
+
+	// Analytic-tier state (see analytic.go).
+	amode  AnalyticMode
+	astats AnalyticStats
+	aMin   int64 // AnalyticAuto profitability threshold, in lines
+	aHuge  bool  // geometry outside the analytic tier's limits
 }
 
 const pfSlotCount = 16
@@ -475,6 +489,7 @@ func New(spec *machine.Spec) *Hierarchy {
 	for i := range h.pfSlots {
 		h.pfSlots[i] = -1
 	}
+	h.analyticSetup()
 	return h
 }
 

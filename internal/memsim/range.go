@@ -38,22 +38,44 @@ func (k AccessKind) String() string {
 // start..start+n-1. It is semantically identical to calling the matching
 // per-line method (Load, RFO, ClaimI2M, ...) in a loop — cache state and
 // Counts are bit-identical, which the differential tests in
-// range_test.go enforce — but runs on a flattened fast path that
-// exploits sequential-line locality: hits resolve via a predicted-way
-// compare (a stream lands on the same way across consecutive sets),
-// tag scans are unrolled, victim scans run only when a line is actually
-// installed, and per-access counters are batched. Streaming loop nests
-// spend most of their simulated accesses here.
+// range_test.go and analytic_test.go enforce — but runs on two stacked
+// fast paths. Regular runs (see analytic.go) are solved in closed form,
+// O(sets x ways) regardless of length. Everything else runs on the
+// flattened simulation that exploits sequential-line locality: hits
+// resolve via a predicted-way compare (a stream lands on the same way
+// across consecutive sets), tag scans are unrolled, victim scans run
+// only when a line is actually installed, and per-access counters are
+// batched. Streaming loop nests spend most of their simulated accesses
+// here.
 func (h *Hierarchy) AccessRange(start, n int64, kind AccessKind) {
 	if n <= 0 {
 		return
 	}
 	switch kind {
+	case AccessWriteNT:
+		// WriteNT touches no cache state: pure counter batch.
+		h.c.NTLines += n
+		h.c.MemWriteLines += n
+		return
+	case AccessWriteStreamed:
+		h.c.WSLines += n
+		h.c.MemWriteLines += n
+		return
 	case AccessLoad:
 		h.c.Loads += n
-		h.accessRange(start, n, false, true)
 	case AccessRFO:
 		h.c.RFOs += n
+	case AccessWriteNTReverted:
+		h.c.NTReverted += n
+		h.c.RFOs += n
+	}
+	if h.amode != AnalyticOff && h.tryAnalytic(start, n, kind) {
+		return
+	}
+	switch kind {
+	case AccessLoad:
+		h.accessRange(start, n, false, true)
+	case AccessRFO, AccessWriteNTReverted:
 		h.accessRange(start, n, true, false)
 	case AccessClaimI2M:
 		for line := start; line < start+n; line++ {
@@ -63,17 +85,6 @@ func (h *Hierarchy) AccessRange(start, n int64, kind AccessKind) {
 		for line := start; line < start+n; line++ {
 			h.claimL2Fast(line)
 		}
-	case AccessWriteNT:
-		// WriteNT touches no cache state: pure counter batch.
-		h.c.NTLines += n
-		h.c.MemWriteLines += n
-	case AccessWriteNTReverted:
-		h.c.NTReverted += n
-		h.c.RFOs += n
-		h.accessRange(start, n, true, false)
-	case AccessWriteStreamed:
-		h.c.WSLines += n
-		h.c.MemWriteLines += n
 	}
 }
 

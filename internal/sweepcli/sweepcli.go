@@ -22,6 +22,7 @@ import (
 	"cloversim"
 	"cloversim/internal/dispatch"
 	"cloversim/internal/machine"
+	"cloversim/internal/memsim"
 	"cloversim/internal/store"
 	"cloversim/internal/sweep"
 	"cloversim/internal/workload"
@@ -89,6 +90,7 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 		storeDir  = fs.String("store", "", "persistent result store directory; already-simulated scenarios are served from it and fresh results are recorded, making campaigns resumable")
 		plot      = fs.String("plot", "store_ratio", "metric for the ASCII summary chart (empty = first metric)")
 		quiet     = fs.Bool("q", false, "suppress per-scenario progress and the result table")
+		analytic  = fs.String("analytic", "auto", "memsim analytic fast path: auto, off or force — all three simulate identical physics (golden-verified), so this never affects results or store keys")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -96,6 +98,14 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 		}
 		return ExitUsage
 	}
+	amode, err := memsim.ParseAnalyticMode(*analytic)
+	if err != nil {
+		return usage(stderr, err)
+	}
+	// Pinned process-wide rather than threaded through the scenario
+	// config: the knob selects an implementation path, never physics,
+	// and must not perturb scenario hashes.
+	memsim.DefaultAnalytic = amode
 
 	// -workers is overloaded: an integer sizes the local pool, anything
 	// else is a fleet of sweepd worker URLs for the remote backend.
@@ -129,7 +139,6 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 		spec.Modes = splitList(*modes)
 	}
 	spec.Meshes = splitList(*mesh)
-	var err error
 	if spec.Ranks, err = intList(*ranks); err != nil {
 		return usage(stderr, err)
 	}
