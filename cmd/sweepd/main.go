@@ -24,9 +24,15 @@
 // The daemon is also a fleet worker: POST /v1/expand accepts an
 // explicit scenario-key list (cells this store has never seen), and
 // /v1/healthz advertises the simulation capacity (-workers), in-flight
-// expand count and physics version that cmd/sweep's dispatch backend
-// shards by. Point cmd/sweep -workers at a set of sweepd addresses to
-// run distributed campaigns.
+// expand count, per-request cell cap (-max-cells) and physics version
+// that cmd/sweep's dispatch backend shards by. Point cmd/sweep
+// -workers at a set of sweepd addresses to run distributed campaigns.
+//
+// Expand responses stream on request: "Accept: application/x-ndjson"
+// switches POST /v1/expand to NDJSON frames emitting each cell's
+// result the moment it finalizes, with a terminal summary line
+// carrying the completion and durability status that the buffered
+// mode reports in headers.
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the daemon stops accepting
 // connections, drains in-flight requests (up to -drain-timeout), then
@@ -64,6 +70,7 @@ func main() {
 		workers       = flag.Int("workers", 0, "max concurrent cold-cell simulations across all requests (0 = GOMAXPROCS)")
 		expandTimeout = flag.Duration("expand-timeout", 0, "per-request deadline for POST /v1/expand (0 = no server-side deadline)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before aborting them")
+		maxCells      = flag.Int("max-cells", sweepd.DefaultMaxCells, "largest cell count one POST /v1/expand may carry; advertised in /v1/healthz so dispatchers clamp chunk sizes")
 		analytic      = flag.String("analytic", "auto", "memsim analytic fast path: auto, off or force — all three simulate identical physics, so workers with different settings still produce store-compatible results")
 	)
 	flag.Parse()
@@ -84,6 +91,7 @@ func main() {
 
 	server := sweepd.New(st, cloversim.RunScenarioContext, *workers)
 	server.ExpandTimeout = *expandTimeout
+	server.MaxCells = *maxCells
 
 	// Every request context descends from baseCtx, so cancelling it
 	// aborts in-flight expands: their engines stop scheduling cold

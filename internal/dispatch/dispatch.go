@@ -33,6 +33,18 @@
 // Results come back bit-exact (IEEE-754 bits on the wire) and flow
 // through the engine's normal write-through, so a distributed campaign
 // is byte-identical to a local cold run and exactly as resumable.
+//
+// Chunks execute over the streaming NDJSON expand mode by default:
+// each cell reports the moment its frame arrives, so the engine's
+// progress (and any live emitters above it) see remote completions in
+// real time instead of at chunk granularity, and a mid-chunk worker
+// death costs only the cells whose frames never arrived — the surfaced
+// prefix is kept, not re-simulated. Workers predating the streaming
+// protocol are detected per response and served buffered,
+// transparently; Fleet.Buffered forces the buffered path fleet-wide.
+// Workers also advertise their per-request cell cap in healthz, and
+// chunks are clamped to it, so a big-capacity worker behind a small
+// -max-cells never sees its batches bounced with 400s.
 package dispatch
 
 import (
@@ -52,11 +64,21 @@ const (
 	healthzTimeout        = 10 * time.Second
 )
 
-// worker is one fleet member: its typed client plus the capacity it
-// advertised at fleet assembly.
+// worker is one fleet member: its typed client plus the capacity and
+// per-request cell cap it advertised at fleet assembly.
 type worker struct {
 	client   *sweepd.Client
 	capacity int
+	maxCells int // 0 = not advertised (pre-cap worker), no clamp
+}
+
+// chunk is the worker's effective chunk size: its capacity, clamped to
+// the largest expand request it accepts.
+func (w *worker) chunk() int {
+	if w.maxCells > 0 && w.capacity > w.maxCells {
+		return w.maxCells
+	}
+	return w.capacity
 }
 
 // Fleet shards scenario batches across sweepd workers. It implements
@@ -74,6 +96,13 @@ type Fleet struct {
 	// it well above a worker's expected chunk latency: stealing too
 	// eagerly wastes simulation, never correctness.
 	StragglerAfter time.Duration
+	// Buffered forces the buffered expand protocol fleet-wide instead
+	// of the streaming default. Results then arrive at chunk
+	// granularity: no per-cell progress while a chunk is in flight, and
+	// a mid-chunk worker death loses the whole chunk's work. Mixed
+	// fleets never need this — a worker that cannot stream is detected
+	// per response and served buffered automatically.
+	Buffered bool
 
 	workers []*worker
 }
@@ -121,7 +150,7 @@ func New(ctx context.Context, urls []string, physics string) (*Fleet, error) {
 			if capacity < 1 {
 				capacity = 1
 			}
-			f.workers[i] = &worker{client: c, capacity: capacity}
+			f.workers[i] = &worker{client: c, capacity: capacity, maxCells: h.MaxCells}
 		}(i, u)
 	}
 	wg.Wait()
@@ -212,8 +241,29 @@ func (f *Fleet) runWorker(ctx context.Context, wi int, w *worker, b *board, scen
 			}
 		}
 	}
+	// handle finalizes one cell's wire result against the board. Shared
+	// by the buffered loop and the streaming callback, so the two
+	// protocols cannot diverge in retry/dedup semantics.
+	handle := func(i int, r sweepd.ExecResult) {
+		switch {
+		case r.Unstarted:
+			// The worker never simulated this cell (its expand
+			// deadline, a draining daemon): re-dispatchable.
+			emit(b.release(wi, i, f.maxAttempts()))
+		case r.Err != nil:
+			// A genuine simulation failure is deterministic in the
+			// scenario — retrying it elsewhere would just fail again.
+			if b.complete(i) {
+				report(i, nil, r.Err)
+			}
+		default:
+			if b.complete(i) {
+				report(i, r.Metrics, nil)
+			}
+		}
+	}
 	for {
-		batch := b.take(ctx, wi, w.capacity, f.stragglerAfter(), f.maxAttempts())
+		batch := b.take(ctx, wi, w.chunk(), f.stragglerAfter(), f.maxAttempts())
 		if len(batch) == 0 {
 			return
 		}
@@ -221,32 +271,41 @@ func (f *Fleet) runWorker(ctx context.Context, wi int, w *worker, b *board, scen
 		for k, i := range batch {
 			sub[k] = scenarios[i]
 		}
-		results, err := w.client.ExecuteScenarios(ctx, sub)
+		var err error
+		if f.Buffered {
+			var results []sweepd.ExecResult
+			if results, err = w.client.ExecuteScenarios(ctx, sub); err == nil {
+				for k, r := range results {
+					handle(batch[k], r)
+				}
+			}
+		} else {
+			// Streaming: each cell finalizes the moment its frame
+			// arrives — the engine's progress sees remote completions in
+			// real time, and straggler accounting tracks cells, not
+			// chunks. surfaced remembers which cells were delivered so a
+			// mid-stream failure requeues only the rest.
+			surfaced := make([]bool, len(batch))
+			_, err = w.client.ExecuteScenariosStream(ctx, sub, func(k int, r sweepd.ExecResult) {
+				surfaced[k] = true
+				handle(batch[k], r)
+			})
+			if err != nil {
+				var rest []int
+				for k, i := range batch {
+					if !surfaced[k] {
+						rest = append(rest, i)
+					}
+				}
+				batch = rest
+			}
+		}
 		if err != nil {
 			// Worker-level failure: exclude this worker for the rest of
-			// the batch, requeue its chunk for the survivors.
+			// the batch, requeue its unaccounted cells for the survivors.
 			emit(b.workerFailed(wi, batch, f.maxAttempts(),
 				fmt.Errorf("dispatch: worker %s failed: %w", w.client.BaseURL, err)))
 			return
-		}
-		for k, r := range results {
-			i := batch[k]
-			switch {
-			case r.Unstarted:
-				// The worker never simulated this cell (its expand
-				// deadline, a draining daemon): re-dispatchable.
-				emit(b.release(wi, i, f.maxAttempts()))
-			case r.Err != nil:
-				// A genuine simulation failure is deterministic in the
-				// scenario — retrying it elsewhere would just fail again.
-				if b.complete(i) {
-					report(i, nil, r.Err)
-				}
-			default:
-				if b.complete(i) {
-					report(i, r.Metrics, nil)
-				}
-			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"cloversim/internal/asciiplot"
 	"cloversim/internal/csvout"
@@ -50,10 +51,31 @@ type CSVEmitter struct{}
 func (CSVEmitter) Emit(w io.Writer, c Campaign) error { return c.Table().WriteCSV(w) }
 
 // jsonMetric/jsonResult/jsonCampaign fix the field order (struct
-// marshaling is deterministic; metrics stay an ordered array).
+// marshaling is deterministic; metrics stay an ordered array). Value
+// is a pointer because JSON cannot carry NaN/±Inf: a non-finite metric
+// — which the sweepd wire layer deliberately supports via IEEE-754
+// bits — encodes as a null decimal mirror plus an authoritative Bits
+// field, instead of aborting the whole campaign encode with
+// encoding/json's "unsupported value". Finite metrics carry no Bits
+// field, so campaigns without non-finite values (the golden fixtures)
+// encode byte-identically to the historical form.
 type jsonMetric struct {
-	Name  string  `json:"name"`
-	Value float64 `json:"value"`
+	Name  string   `json:"name"`
+	Value *float64 `json:"value"`
+	Bits  string   `json:"bits,omitempty"`
+}
+
+// toJSONMetric renders one metric in the campaign JSON form, shared by
+// the buffered JSONEmitter and the streaming JSONStream so the two
+// paths cannot drift.
+func toJSONMetric(m Metric) jsonMetric {
+	jm := jsonMetric{Name: m.Name}
+	if v := m.Value; math.IsNaN(v) || math.IsInf(v, 0) {
+		jm.Bits = fmt.Sprintf("%016x", math.Float64bits(v))
+	} else {
+		jm.Value = &v
+	}
+	return jm
 }
 
 // jsonResult carries no cache-provenance field: warm (store-served)
@@ -90,29 +112,37 @@ func (e JSONEmitter) Emit(w io.Writer, c Campaign) error {
 		Results:   make([]jsonResult, 0, len(c.Results)),
 	}
 	for _, r := range c.Results {
-		jr := jsonResult{
-			ID:       r.ID,
-			Machine:  r.Scenario.Machine,
-			Workload: r.Scenario.Workload,
-			Mode:     r.Scenario.Mode.Name,
-			Ranks:    r.Scenario.Ranks,
-			Mesh:     r.Scenario.Mesh.String(),
-			Threads:  r.Scenario.Threads,
-			Seed:     r.Scenario.Seed,
-		}
-		if r.Err != nil {
-			jr.Error = r.Err.Error()
-		}
-		for _, m := range r.Metrics {
-			jr.Metrics = append(jr.Metrics, jsonMetric{m.Name, m.Value})
-		}
-		out.Results = append(out.Results, jr)
+		out.Results = append(out.Results, toJSONResult(r))
 	}
 	enc := json.NewEncoder(w)
 	if e.Indent {
 		enc.SetIndent("", "  ")
 	}
 	return enc.Encode(out)
+}
+
+// toJSONResult renders one result in the campaign JSON form — the
+// shared element encoding of the buffered and streaming JSON paths.
+// It carries no cache-provenance field: warm and cold campaigns must
+// encode byte-identically.
+func toJSONResult(r Result) jsonResult {
+	jr := jsonResult{
+		ID:       r.ID,
+		Machine:  r.Scenario.Machine,
+		Workload: r.Scenario.Workload,
+		Mode:     r.Scenario.Mode.Name,
+		Ranks:    r.Scenario.Ranks,
+		Mesh:     r.Scenario.Mesh.String(),
+		Threads:  r.Scenario.Threads,
+		Seed:     r.Scenario.Seed,
+	}
+	if r.Err != nil {
+		jr.Error = r.Err.Error()
+	}
+	for _, m := range r.Metrics {
+		jr.Metrics = append(jr.Metrics, toJSONMetric(m))
+	}
+	return jr
 }
 
 // SummaryEmitter renders a terminal summary: completion counts plus an

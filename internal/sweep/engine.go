@@ -181,11 +181,15 @@ type Engine struct {
 
 // run is the per-campaign state: its own done counter, so two
 // campaigns running concurrently on one engine (as sweepd does across
-// expand requests) report independent Progress(done, total) counts.
+// expand requests) report independent Progress(done, total) counts,
+// plus the campaign's own progress hook (RunScenariosContextProgress),
+// which lets concurrent campaigns on a shared engine stream their
+// completions to different consumers.
 type run struct {
-	mu    sync.Mutex
-	done  int
-	total int
+	mu       sync.Mutex
+	done     int
+	total    int
+	progress func(done, total int, r Result)
 }
 
 // NewEngine returns an engine with the given worker bound (<=0 means
@@ -216,6 +220,17 @@ func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
 	return e.RunScenariosContext(context.Background(), scenarios, IgnoreContext(run))
 }
 
+// RunScenariosContextProgress is RunScenariosContext with a
+// per-campaign progress hook: progress is called once per finalized
+// scenario (serialized, after the engine-level Progress callback, with
+// the same no-engine-lock guarantee). Two campaigns sharing one engine
+// — sweepd serving concurrent expand requests — can each stream their
+// completions to their own response without racing on the engine-level
+// Progress field.
+func (e *Engine) RunScenariosContextProgress(ctx context.Context, scenarios []Scenario, runner RunnerContext, progress func(done, total int, r Result)) Campaign {
+	return e.runScenarios(ctx, scenarios, runner, progress)
+}
+
 // RunScenariosContext executes an explicit scenario list. Scenarios
 // run concurrently (bounded by Workers) but the returned results are
 // in input order. A scenario whose config hash was already executed —
@@ -232,6 +247,10 @@ func (e *Engine) RunScenarios(scenarios []Scenario, run Runner) Campaign {
 // scenario carries an error wrapping ErrUnstarted and ctx.Err(). The
 // campaign still contains one finalized Result per input scenario.
 func (e *Engine) RunScenariosContext(ctx context.Context, scenarios []Scenario, runner RunnerContext) Campaign {
+	return e.runScenarios(ctx, scenarios, runner, nil)
+}
+
+func (e *Engine) runScenarios(ctx context.Context, scenarios []Scenario, runner RunnerContext, progress func(done, total int, r Result)) Campaign {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -241,7 +260,7 @@ func (e *Engine) RunScenariosContext(ctx context.Context, scenarios []Scenario, 
 	}
 	total := len(scenarios)
 	results := make([]Result, total)
-	prog := &run{total: total}
+	prog := &run{total: total, progress: progress}
 	e.mu.Lock()
 	if e.cache == nil {
 		e.cache = map[string]Metrics{}
@@ -412,10 +431,16 @@ func (e *Engine) progress(p *run, r Result) {
 	e.mu.Lock()
 	cb := e.Progress
 	e.mu.Unlock()
+	if cb == nil && p.progress == nil {
+		return
+	}
+	e.progressMu.Lock()
+	defer e.progressMu.Unlock()
 	if cb != nil {
-		e.progressMu.Lock()
 		cb(done, p.total, r)
-		e.progressMu.Unlock()
+	}
+	if p.progress != nil {
+		p.progress(done, p.total, r)
 	}
 }
 

@@ -1,0 +1,395 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"cloversim/internal/csvout"
+)
+
+// StreamEmitter is the incremental half of Emitter: results arrive one
+// at a time in arbitrary completion order (an engine Progress hook, a
+// fleet's trickle of remote completions), are spilled to disk in grid
+// order with bounded memory, and Close assembles final bytes that are
+// byte-identical to the corresponding buffered emitter rendering the
+// completed Campaign.
+//
+// Memory model: only out-of-order completions are held — a result
+// whose grid predecessors have all arrived is formatted and spilled
+// immediately, so the high-water mark is the campaign's out-of-
+// orderness (roughly O(workers x chunk) under a fleet), never
+// O(campaign). The artifact headers that depend on the whole campaign
+// (the CSV metric-column union, the JSON failed count) are written at
+// Close from the spill, which is why the final bytes can be identical
+// to the buffered path without holding the campaign in memory.
+type StreamEmitter interface {
+	// Add consumes one finalized result. Exactly one Add per campaign
+	// scenario (duplicates included — the engine's Progress hook fires
+	// once per input scenario) must arrive before Close.
+	Add(r Result) error
+	// Close writes the final artifact and releases the spill. It fails
+	// if results are missing: a stream cut short must not masquerade as
+	// a complete campaign.
+	Close() error
+}
+
+// reorder reassembles completion-order results into grid order: Add
+// hands back the run of results that became contiguous, holding only
+// the out-of-order tail. Results are matched to grid indices by
+// scenario ID; duplicate IDs (in-campaign dedup copies) fill their
+// indices in grid order, which is sound because the engine gives every
+// copy identical metrics and error.
+type reorder struct {
+	next    int
+	total   int
+	byID    map[string][]int
+	pending map[int]Result
+	maxHeld int
+}
+
+func newReorder(scenarios []Scenario) *reorder {
+	o := &reorder{
+		total:   len(scenarios),
+		byID:    make(map[string][]int, len(scenarios)),
+		pending: map[int]Result{},
+	}
+	for i, s := range scenarios {
+		id := s.ID()
+		o.byID[id] = append(o.byID[id], i)
+	}
+	return o
+}
+
+// add assigns r its grid index and returns the now-contiguous run of
+// results starting at the spill frontier (empty when r is ahead of it).
+func (o *reorder) add(r Result) ([]Result, error) {
+	idxs := o.byID[r.ID]
+	if len(idxs) == 0 {
+		return nil, fmt.Errorf("sweep: stream emitter: unexpected result %s (%s): not in this campaign's grid, or already emitted", r.ID, r.Scenario.Label())
+	}
+	i := idxs[0]
+	o.byID[r.ID] = idxs[1:]
+	if _, dup := o.pending[i]; dup || i < o.next {
+		return nil, fmt.Errorf("sweep: stream emitter: duplicate result for grid index %d (%s)", i, r.ID)
+	}
+	o.pending[i] = r
+	if n := len(o.pending); n > o.maxHeld {
+		o.maxHeld = n
+	}
+	var ready []Result
+	for {
+		r, ok := o.pending[o.next]
+		if !ok {
+			return ready, nil
+		}
+		delete(o.pending, o.next)
+		o.next++
+		ready = append(ready, r)
+	}
+}
+
+// complete reports whether every grid index has been spilled.
+func (o *reorder) complete() bool { return o.next == o.total }
+
+// spillFile creates the temp file an incremental emitter spills
+// grid-ordered rows into until the campaign-dependent header is known.
+func spillFile(kind string) (*os.File, error) {
+	f, err := os.CreateTemp("", "sweep-"+kind+"-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("sweep: stream emitter: creating spill: %w", err)
+	}
+	return f, nil
+}
+
+// discardSpill closes and removes a spill file (best effort: the
+// artifact error, if any, is the one worth reporting).
+func discardSpill(f *os.File) {
+	if f == nil {
+		return
+	}
+	f.Close()
+	os.Remove(f.Name())
+}
+
+// CSVStream is the incremental counterpart of CSVEmitter: rows spill
+// to a temp file in grid order as results arrive, and Close writes the
+// header (whose metric-column union is only known once every row has
+// been seen) followed by the rows, padded to the final column count —
+// byte-identical to CSVEmitter rendering the completed campaign.
+// Create with NewCSVStream; not safe for concurrent use (the engine
+// serializes Progress callbacks).
+type CSVStream struct {
+	w       io.Writer
+	spill   *os.File
+	spillW  *csv.Writer
+	order   *reorder
+	metrics []string // column union so far, first-appearance in grid order
+	seen    map[string]bool
+	err     error
+	closed  bool
+}
+
+// NewCSVStream starts an incremental CSV emission for the given
+// campaign scenarios (grid order — the order CSVEmitter would render).
+func NewCSVStream(w io.Writer, scenarios []Scenario) (*CSVStream, error) {
+	spill, err := spillFile("csv")
+	if err != nil {
+		return nil, err
+	}
+	return &CSVStream{
+		w:      w,
+		spill:  spill,
+		spillW: csv.NewWriter(spill),
+		order:  newReorder(scenarios),
+		seen:   map[string]bool{},
+	}, nil
+}
+
+// MaxBuffered reports the high-water mark of out-of-order results held
+// in memory — the quantity the bounded-memory contract is about.
+func (s *CSVStream) MaxBuffered() int { return s.order.maxHeld }
+
+// Add consumes one finalized result (any completion order).
+func (s *CSVStream) Add(r Result) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return fmt.Errorf("sweep: CSV stream: Add after Close")
+	}
+	ready, err := s.order.add(r)
+	if err != nil {
+		return s.fail(err)
+	}
+	for _, r := range ready {
+		// The metric union grows in first-appearance grid order —
+		// exactly the buffered Table's column order — because rows spill
+		// in grid order.
+		for _, m := range r.Metrics {
+			if !s.seen[m.Name] {
+				s.seen[m.Name] = true
+				s.metrics = append(s.metrics, m.Name)
+			}
+		}
+		status := "ok"
+		if r.Err != nil {
+			status = "error: " + r.Err.Error()
+		}
+		row := []string{r.ID, r.Scenario.Machine, r.Scenario.Workload, r.Scenario.Mode.Name,
+			csvout.FormatCell(r.Scenario.Ranks), r.Scenario.Mesh.String(), csvout.FormatCell(r.Scenario.Threads), status}
+		for _, name := range s.metrics {
+			if v, ok := r.Metrics.Get(name); ok {
+				row = append(row, csvout.FormatCell(v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := s.spillW.Write(row); err != nil {
+			return s.fail(fmt.Errorf("sweep: CSV stream: spilling row: %w", err))
+		}
+	}
+	return nil
+}
+
+// Close writes header + padded rows to the destination and removes the
+// spill. The campaign must be complete.
+func (s *CSVStream) Close() error {
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if s.err != nil {
+		return s.err
+	}
+	defer discardSpill(s.spill)
+	if !s.order.complete() {
+		return fmt.Errorf("sweep: CSV stream: campaign incomplete: %d of %d results arrived", s.order.next, s.order.total)
+	}
+	s.spillW.Flush()
+	if err := s.spillW.Error(); err != nil {
+		return fmt.Errorf("sweep: CSV stream: flushing spill: %w", err)
+	}
+	if _, err := s.spill.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("sweep: CSV stream: rewinding spill: %w", err)
+	}
+	header := append([]string{"id", "machine", "workload", "mode", "ranks", "mesh", "threads", "status"}, s.metrics...)
+	out := csv.NewWriter(s.w)
+	if err := out.Write(header); err != nil {
+		return err
+	}
+	// Rows spilled before a metric column was discovered are short; pad
+	// them with the blank cells the buffered table would carry. A csv
+	// round-trip re-encodes parsed fields byte-identically (quoting is a
+	// deterministic function of the field content), so padded rows match
+	// the buffered emitter exactly.
+	in := csv.NewReader(s.spill)
+	in.FieldsPerRecord = -1
+	for {
+		rec, err := in.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("sweep: CSV stream: reading spill: %w", err)
+		}
+		for len(rec) < len(header) {
+			rec = append(rec, "")
+		}
+		if err := out.Write(rec); err != nil {
+			return err
+		}
+	}
+	out.Flush()
+	return out.Error()
+}
+
+func (s *CSVStream) fail(err error) error {
+	s.err = err
+	return err
+}
+
+// JSONStream is the incremental counterpart of JSONEmitter: result
+// elements spill to a temp file in grid order as they arrive, and
+// Close wraps them in the campaign envelope (whose failed count is
+// only known once every result has been seen) — byte-identical to
+// JSONEmitter rendering the completed campaign, in both indented and
+// compact form. Create with NewJSONStream; not safe for concurrent
+// use.
+type JSONStream struct {
+	w      io.Writer
+	indent bool
+	spill  *os.File
+	order  *reorder
+	count  int
+	failed int
+	err    error
+	closed bool
+}
+
+// NewJSONStream starts an incremental JSON emission for the given
+// campaign scenarios (grid order). indent selects the indented form
+// cmd/sweep writes to campaign.json.
+func NewJSONStream(w io.Writer, scenarios []Scenario, indent bool) (*JSONStream, error) {
+	spill, err := spillFile("json")
+	if err != nil {
+		return nil, err
+	}
+	return &JSONStream{
+		w:      w,
+		indent: indent,
+		spill:  spill,
+		order:  newReorder(scenarios),
+	}, nil
+}
+
+// MaxBuffered reports the high-water mark of out-of-order results held
+// in memory.
+func (s *JSONStream) MaxBuffered() int { return s.order.maxHeld }
+
+// Add consumes one finalized result (any completion order).
+func (s *JSONStream) Add(r Result) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return fmt.Errorf("sweep: JSON stream: Add after Close")
+	}
+	ready, err := s.order.add(r)
+	if err != nil {
+		return s.fail(err)
+	}
+	for _, r := range ready {
+		if r.Err != nil {
+			s.failed++
+		}
+		var buf []byte
+		var merr error
+		if s.indent {
+			// The element exactly as json.Encoder lays it out at depth
+			// two of the campaign envelope: four-space element prefix,
+			// two-space indent steps.
+			buf, merr = json.MarshalIndent(toJSONResult(r), "    ", "  ")
+		} else {
+			buf, merr = json.Marshal(toJSONResult(r))
+		}
+		if merr != nil {
+			return s.fail(fmt.Errorf("sweep: JSON stream: encoding result %s: %w", r.ID, merr))
+		}
+		var sep string
+		if s.count > 0 {
+			sep = ","
+			if s.indent {
+				sep = ",\n"
+			}
+		}
+		lead := ""
+		if s.indent {
+			lead = "    "
+		}
+		if _, err := fmt.Fprintf(s.spill, "%s%s%s", sep, lead, buf); err != nil {
+			return s.fail(fmt.Errorf("sweep: JSON stream: spilling result: %w", err))
+		}
+		s.count++
+	}
+	return nil
+}
+
+// Close writes the campaign envelope around the spilled elements and
+// removes the spill. The campaign must be complete.
+func (s *JSONStream) Close() error {
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if s.err != nil {
+		return s.err
+	}
+	defer discardSpill(s.spill)
+	if !s.order.complete() {
+		return fmt.Errorf("sweep: JSON stream: campaign incomplete: %d of %d results arrived", s.order.next, s.order.total)
+	}
+	if _, err := s.spill.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("sweep: JSON stream: rewinding spill: %w", err)
+	}
+	prefix, suffix := `{"scenarios":%d,"failed":%d,"results":[`, "]}\n"
+	if s.indent {
+		prefix = "{\n  \"scenarios\": %d,\n  \"failed\": %d,\n  \"results\": ["
+		suffix = "\n  ]\n}\n"
+	}
+	if s.count == 0 {
+		// encoding/json renders an empty array with no inner newline.
+		suffix = "]\n}\n"
+		if !s.indent {
+			suffix = "]}\n"
+		}
+	}
+	if _, err := fmt.Fprintf(s.w, prefix, s.order.total, s.failed); err != nil {
+		return err
+	}
+	if s.count > 0 {
+		if s.indent {
+			if _, err := io.WriteString(s.w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.Copy(s.w, s.spill); err != nil {
+			return fmt.Errorf("sweep: JSON stream: copying spill: %w", err)
+		}
+	}
+	_, err := io.WriteString(s.w, suffix)
+	return err
+}
+
+func (s *JSONStream) fail(err error) error {
+	s.err = err
+	return err
+}
+
+// Interface conformance.
+var (
+	_ StreamEmitter = (*CSVStream)(nil)
+	_ StreamEmitter = (*JSONStream)(nil)
+)

@@ -1,0 +1,291 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// streamRunner extends echoRunner with the awkward cases the wire and
+// emitters must survive: a NaN metric, a +Inf metric and a genuine
+// failure.
+func streamRunner(s Scenario) (Metrics, error) {
+	if s.Machine == "m2" && s.Mode.Name == "a" && s.Ranks == 2 {
+		return nil, errors.New("injected failure")
+	}
+	m, _ := echoRunner(s)
+	if s.Machine == "m1" {
+		m.Add("oddity", math.NaN())
+	}
+	if s.Machine == "m2" {
+		m.Add("oddity", math.Inf(1))
+	}
+	return m, nil
+}
+
+// feedStream drives a StreamEmitter with the campaign's results in the
+// given order and closes it.
+func feedStream(t *testing.T, se StreamEmitter, c Campaign, order []int) {
+	t.Helper()
+	for _, i := range order {
+		if err := se.Add(c.Results[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := se.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamEmittersByteIdentical: the incremental CSV and JSON
+// emitters, fed results in arbitrary completion orders (including
+// duplicates from in-campaign dedup and a late-appearing metric
+// column), must produce final bytes identical to the buffered
+// emitters rendering the completed campaign.
+func TestStreamEmittersByteIdentical(t *testing.T) {
+	scenarios := testGrid().Expand()
+	// An in-campaign duplicate: the engine finalizes one Result per
+	// input scenario, so the stream must accept the copy too.
+	scenarios = append(scenarios, scenarios[3])
+	c := NewEngine(4).RunScenarios(scenarios, streamRunner)
+
+	wantCSV := emitBytes(t, CSVEmitter{}, c)
+	wantJSONIndent := emitBytes(t, JSONEmitter{Indent: true}, c)
+	wantJSONCompact := emitBytes(t, JSONEmitter{}, c)
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		order := rng.Perm(len(c.Results))
+		if trial == 0 { // in order
+			for i := range order {
+				order[i] = i
+			}
+		}
+		if trial == 1 { // fully reversed: worst-case reordering
+			for i := range order {
+				order[i] = len(order) - 1 - i
+			}
+		}
+
+		var csvBuf bytes.Buffer
+		cs, err := NewCSVStream(&csvBuf, scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedStream(t, cs, c, order)
+		if !bytes.Equal(csvBuf.Bytes(), wantCSV) {
+			t.Fatalf("trial %d: streamed CSV deviates from buffered:\nstream:\n%s\nbuffered:\n%s", trial, csvBuf.Bytes(), wantCSV)
+		}
+
+		for _, indent := range []bool{true, false} {
+			want := wantJSONCompact
+			if indent {
+				want = wantJSONIndent
+			}
+			var jsonBuf bytes.Buffer
+			js, err := NewJSONStream(&jsonBuf, scenarios, indent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feedStream(t, js, c, order)
+			if !bytes.Equal(jsonBuf.Bytes(), want) {
+				t.Fatalf("trial %d indent=%t: streamed JSON deviates from buffered:\nstream:\n%s\nbuffered:\n%s", trial, indent, jsonBuf.Bytes(), want)
+			}
+		}
+	}
+}
+
+// TestStreamEmittersEmptyCampaign: the zero-scenario edge must match
+// the buffered emitters too (header-only CSV, empty results array).
+func TestStreamEmittersEmptyCampaign(t *testing.T) {
+	c := Campaign{}
+	var scenarios []Scenario
+	var csvBuf bytes.Buffer
+	cs, err := NewCSVStream(&csvBuf, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStream(t, cs, c, nil)
+	if want := emitBytes(t, CSVEmitter{}, c); !bytes.Equal(csvBuf.Bytes(), want) {
+		t.Errorf("empty CSV stream %q, want %q", csvBuf.Bytes(), want)
+	}
+	for _, indent := range []bool{true, false} {
+		var jsonBuf bytes.Buffer
+		js, err := NewJSONStream(&jsonBuf, scenarios, indent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedStream(t, js, c, nil)
+		if want := emitBytes(t, JSONEmitter{Indent: indent}, c); !bytes.Equal(jsonBuf.Bytes(), want) {
+			t.Errorf("indent=%t: empty JSON stream %q, want %q", indent, jsonBuf.Bytes(), want)
+		}
+	}
+}
+
+// TestStreamBoundedMemory: the emitters hold only out-of-order
+// completions — a feed whose displacement is bounded by a window w
+// must never buffer more than w results, regardless of campaign size.
+func TestStreamBoundedMemory(t *testing.T) {
+	g := Grid{Machines: []string{"m0", "m1", "m2", "m3"}, Modes: []Mode{{Name: "a"}, {Name: "b"}},
+		Ranks: []int{1, 2, 3}, Seed: 9}
+	scenarios := g.Expand() // 24 cells
+	c := NewEngine(4).RunScenarios(scenarios, echoRunner)
+
+	const window = 4
+	// Bounded out-of-orderness: swap within blocks of `window`.
+	order := make([]int, len(c.Results))
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(2))
+	for b := 0; b+window <= len(order); b += window {
+		rng.Shuffle(window, func(i, j int) { order[b+i], order[b+j] = order[b+j], order[b+i] })
+	}
+
+	var csvBuf, jsonBuf bytes.Buffer
+	cs, err := NewCSVStream(&csvBuf, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := NewJSONStream(&jsonBuf, scenarios, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStream(t, cs, c, order)
+	feedStream(t, js, c, order)
+	if got := cs.MaxBuffered(); got > window {
+		t.Errorf("CSV stream buffered %d results for window-%d feed, want <= %d", got, window, window)
+	}
+	if got := js.MaxBuffered(); got > window {
+		t.Errorf("JSON stream buffered %d results for window-%d feed, want <= %d", got, window, window)
+	}
+	if !bytes.Equal(csvBuf.Bytes(), emitBytes(t, CSVEmitter{}, c)) {
+		t.Error("windowed CSV stream deviates from buffered emitter")
+	}
+}
+
+// TestStreamIncompleteClose: a stream cut short must refuse to
+// masquerade as a complete campaign.
+func TestStreamIncompleteClose(t *testing.T) {
+	scenarios := testGrid().Expand()
+	c := NewEngine(2).RunScenarios(scenarios, echoRunner)
+	var buf bytes.Buffer
+	cs, err := NewCSVStream(&buf, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Add(c.Results[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Close(); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Errorf("Close after 1 of %d results: err = %v, want incomplete", len(scenarios), err)
+	}
+	js, err := NewJSONStream(&buf, scenarios, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := js.Close(); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Errorf("JSON Close with no results: err = %v, want incomplete", err)
+	}
+}
+
+// TestStreamRejectsForeignResult: a result that is not part of the
+// declared grid is an error, not a silent extra row.
+func TestStreamRejectsForeignResult(t *testing.T) {
+	scenarios := testGrid().Expand()
+	var buf bytes.Buffer
+	cs, err := NewCSVStream(&buf, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	foreign := Scenario{Machine: "elsewhere", Seed: 1}
+	if err := cs.Add(Result{Scenario: foreign, ID: foreign.ID()}); err == nil {
+		t.Error("foreign result accepted")
+	}
+}
+
+// TestJSONEmitterNonFinite is the regression lock for the NaN bugfix:
+// a campaign containing NaN/Inf metrics — which the sweepd wire layer
+// deliberately supports via IEEE-754 bits — must emit (the old code
+// died with json: unsupported value), rendering non-finite values as a
+// null decimal mirror plus authoritative bits, while finite metrics
+// keep the historical {"name","value"} shape.
+func TestJSONEmitterNonFinite(t *testing.T) {
+	var m Metrics
+	m.Add("nan", math.NaN())
+	m.Add("ninf", math.Inf(-1))
+	m.Add("finite", 1.5)
+	s := Scenario{Machine: "m0", Mode: Mode{Name: "a"}, Seed: 1}
+	c := Campaign{Results: []Result{{Scenario: s, ID: s.ID(), Metrics: m}}}
+
+	out := emitBytes(t, JSONEmitter{Indent: true}, c)
+	var doc struct {
+		Results []struct {
+			Metrics []struct {
+				Name  string   `json:"name"`
+				Value *float64 `json:"value"`
+				Bits  string   `json:"bits"`
+			} `json:"metrics"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, out)
+	}
+	got := doc.Results[0].Metrics
+	if got[0].Value != nil || got[0].Bits == "" {
+		t.Errorf("NaN metric = %+v, want null value with bits", got[0])
+	}
+	if bits := got[1].Bits; bits != "fff0000000000000" {
+		t.Errorf("-Inf bits = %q, want fff0000000000000", bits)
+	}
+	if got[2].Value == nil || *got[2].Value != 1.5 || got[2].Bits != "" {
+		t.Errorf("finite metric = %+v, want plain value 1.5 without bits", got[2])
+	}
+	// Finite-only campaigns must keep their historical bytes: no bits
+	// field, value as a bare number.
+	finite := NewEngine(1).RunScenarios(testGrid().Expand(), echoRunner)
+	if out := emitBytes(t, JSONEmitter{Indent: true}, finite); bytes.Contains(out, []byte(`"bits"`)) {
+		t.Error("finite campaign emits bits fields; goldens would change")
+	}
+}
+
+// TestRunScenariosContextProgress: the per-campaign hook fires once
+// per scenario alongside the engine-level Progress callback, with the
+// per-run done counter.
+func TestRunScenariosContextProgress(t *testing.T) {
+	eng := NewEngine(3)
+	var engineCalls, runCalls int
+	eng.Progress = func(done, total int, r Result) { engineCalls++ }
+	scenarios := testGrid().Expand()
+	seen := map[string]int{}
+	var last int
+	c := eng.RunScenariosContextProgress(context.Background(), scenarios, IgnoreContext(echoRunner),
+		func(done, total int, r Result) {
+			runCalls++
+			seen[r.ID]++
+			if total != len(scenarios) {
+				t.Errorf("total = %d, want %d", total, len(scenarios))
+			}
+			if done != last+1 {
+				t.Errorf("done jumped %d -> %d; progress must be serialized", last, done)
+			}
+			last = done
+		})
+	if len(c.Results) != len(scenarios) {
+		t.Fatalf("%d results", len(c.Results))
+	}
+	if runCalls != len(scenarios) || engineCalls != len(scenarios) {
+		t.Errorf("per-run hook fired %d times, engine hook %d, want %d each", runCalls, engineCalls, len(scenarios))
+	}
+	for _, s := range scenarios {
+		if seen[s.ID()] == 0 {
+			t.Errorf("scenario %s never reached the per-run hook", s.ID())
+		}
+	}
+}

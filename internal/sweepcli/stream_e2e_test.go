@@ -1,0 +1,212 @@
+package sweepcli
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cloversim"
+	"cloversim/internal/sweep"
+)
+
+// readOutputs loads campaign.csv and campaign.json from an output dir.
+func readOutputs(t *testing.T, dir string) (csv, json []byte) {
+	t.Helper()
+	csv, err := os.ReadFile(filepath.Join(dir, "campaign.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json, err = os.ReadFile(filepath.Join(dir, "campaign.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return csv, json
+}
+
+// TestE2EStreamByteIdentity is the end-to-end lockdown of the
+// streaming tentpole: -stream campaigns — cold local, warm from the
+// store, and sharded across a fleet over the NDJSON expand transport —
+// must all produce campaign.csv and campaign.json byte-identical to
+// the buffered default, and the CSV must still match the committed
+// golden fixture.
+func TestE2EStreamByteIdentity(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "store")
+	outBuffered := filepath.Join(t.TempDir(), "buffered")
+
+	var sims atomic.Int64
+	code, _, stderr := runCLI(t, e2eArgs(storeDir, outBuffered), countRunner(&sims))
+	if code != ExitOK {
+		t.Fatalf("buffered run exit %d, stderr:\n%s", code, stderr)
+	}
+	wantCSV, wantJSON := readOutputs(t, outBuffered)
+
+	// Cold streaming run: fresh store, incremental emitters.
+	outCold := filepath.Join(t.TempDir(), "stream-cold")
+	coldStore := filepath.Join(t.TempDir(), "store-cold")
+	var coldSims atomic.Int64
+	code, _, stderr = runCLI(t, append(e2eArgs(coldStore, outCold), "-stream"), countRunner(&coldSims))
+	if code != ExitOK {
+		t.Fatalf("cold -stream run exit %d, stderr:\n%s", code, stderr)
+	}
+	if coldSims.Load() != 12 {
+		t.Fatalf("cold -stream run simulated %d scenarios, want 12", coldSims.Load())
+	}
+
+	// Warm streaming run: every cell served from the store, still
+	// identical (cache provenance must not leak into streamed rows).
+	outWarm := filepath.Join(t.TempDir(), "stream-warm")
+	var warmSims atomic.Int64
+	code, _, stderr = runCLI(t, append(e2eArgs(storeDir, outWarm), "-stream"), countRunner(&warmSims))
+	if code != ExitOK {
+		t.Fatalf("warm -stream run exit %d, stderr:\n%s", code, stderr)
+	}
+	if warmSims.Load() != 0 {
+		t.Fatalf("warm -stream run simulated %d scenarios, want 0", warmSims.Load())
+	}
+
+	// Fleet streaming run: results arrive per-cell over NDJSON expand
+	// streams AND spill through the incremental emitters — the full
+	// streaming path, end to end.
+	hosts, workerSims := startFleet(t, 3)
+	outFleet := filepath.Join(t.TempDir(), "stream-fleet")
+	var localSims atomic.Int64
+	args := append(e2eArgs(filepath.Join(t.TempDir(), "store-fleet"), outFleet), "-stream", "-workers", hosts)
+	code, _, stderr = runCLI(t, args, countRunner(&localSims))
+	if code != ExitOK {
+		t.Fatalf("fleet -stream run exit %d, stderr:\n%s", code, stderr)
+	}
+	if localSims.Load() != 0 {
+		t.Fatalf("fleet -stream run simulated %d scenarios locally, want 0", localSims.Load())
+	}
+	var total int64
+	for _, s := range workerSims {
+		total += s.Load()
+	}
+	if total != 12 {
+		t.Fatalf("fleet simulated %d scenarios in aggregate, want exactly 12", total)
+	}
+
+	for _, run := range []struct{ name, dir string }{
+		{"cold -stream", outCold}, {"warm -stream", outWarm}, {"fleet -stream", outFleet},
+	} {
+		csv, json := readOutputs(t, run.dir)
+		if !bytes.Equal(csv, wantCSV) {
+			t.Errorf("%s campaign.csv deviates from buffered run:\ngot:\n%s\nwant:\n%s", run.name, csv, wantCSV)
+		}
+		if !bytes.Equal(json, wantJSON) {
+			t.Errorf("%s campaign.json deviates from buffered run", run.name)
+		}
+	}
+
+	// And the golden fixture still holds for the streamed CSV.
+	golden, err := os.ReadFile(filepath.Join("testdata", "e2e_campaign.csv.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csv, _ := readOutputs(t, outCold); !bytes.Equal(csv, golden) {
+		t.Errorf("streamed campaign.csv deviates from the committed golden")
+	}
+}
+
+// TestE2EStreamCancelledCampaign: a campaign cancelled before any cell
+// starts is fully deterministic (every cell unstarted with the same
+// context error), so the buffered and streaming paths must produce
+// byte-identical partial artifacts — and both exit ExitInterrupted.
+func TestE2EStreamCancelledCampaign(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-start cancellation: deterministic all-unstarted campaign
+
+	dirs := map[string]string{
+		"buffered": filepath.Join(t.TempDir(), "buffered"),
+		"stream":   filepath.Join(t.TempDir(), "stream"),
+	}
+	for name, dir := range dirs {
+		args := e2eArgs(filepath.Join(t.TempDir(), "store-"+name), dir)
+		if name == "stream" {
+			args = append(args, "-stream")
+		}
+		var stdout, stderr bytes.Buffer
+		code := MainWithRunnerContext(ctx, args, &stdout, &stderr, sweep.IgnoreContext(cloversim.RunScenario))
+		if code != ExitInterrupted {
+			t.Fatalf("%s cancelled run exit %d, want %d; stderr:\n%s", name, code, ExitInterrupted, stderr.Bytes())
+		}
+		if !strings.Contains(stderr.String(), "0 of 12 scenarios completed") {
+			t.Errorf("%s cancelled run stderr does not report the interruption:\n%s", name, stderr.Bytes())
+		}
+	}
+	bufCSV, bufJSON := readOutputs(t, dirs["buffered"])
+	strCSV, strJSON := readOutputs(t, dirs["stream"])
+	if !bytes.Equal(bufCSV, strCSV) {
+		t.Errorf("cancelled campaign.csv differs between buffered and -stream:\nbuffered:\n%s\nstream:\n%s", bufCSV, strCSV)
+	}
+	if !bytes.Equal(bufJSON, strJSON) {
+		t.Errorf("cancelled campaign.json differs between buffered and -stream")
+	}
+}
+
+// watchWriter forwards to buf and fires trigger on every write — the
+// seam that lets a runner block until the CLI has SHOWN progress.
+type watchWriter struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	trigger func([]byte)
+}
+
+func (w *watchWriter) Write(b []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, err := w.buf.Write(b)
+	w.trigger(b)
+	return n, err
+}
+
+func (w *watchWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestE2EProgressBeforeCompletion: -progress must report completions
+// while the campaign is still running — the spr8480 half of the grid
+// blocks until the live counter has appeared on stderr for the icx
+// half, so a progress line that only materialized at campaign end
+// would deadlock (bounded by the runner's timeout).
+func TestE2EProgressBeforeCompletion(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	stderr := &watchWriter{trigger: func(b []byte) {
+		if bytes.Contains(b, []byte("scenarios complete")) {
+			once.Do(func() { close(release) })
+		}
+	}}
+	runner := func(s sweep.Scenario) (sweep.Metrics, error) {
+		if s.Machine == "spr8480" {
+			select {
+			case <-release:
+			case <-time.After(60 * time.Second):
+				return nil, context.DeadlineExceeded
+			}
+		}
+		return cloversim.RunScenario(s)
+	}
+
+	var stdout bytes.Buffer
+	// One worker slot per cell: the blocked spr8480 goroutines park on
+	// the release channel without starving the icx half of the pool
+	// (with a small pool they can win the semaphore first and deadlock
+	// even though icx cells were dispatched earlier).
+	args := append(e2eArgs(filepath.Join(t.TempDir(), "store"), filepath.Join(t.TempDir(), "out")), "-progress", "-workers", "12")
+	code := MainWithRunner(args, &stdout, stderr, runner)
+	if code != ExitOK {
+		t.Fatalf("-progress run exit %d (progress only at campaign end would time the blocked half out); stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "12/12 scenarios complete (0 failed)") {
+		t.Errorf("stderr lacks the final progress line:\n%q", stderr.String())
+	}
+}

@@ -90,6 +90,8 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 		storeDir  = fs.String("store", "", "persistent result store directory; already-simulated scenarios are served from it and fresh results are recorded, making campaigns resumable")
 		plot      = fs.String("plot", "store_ratio", "metric for the ASCII summary chart (empty = first metric)")
 		quiet     = fs.Bool("q", false, "suppress per-scenario progress and the result table")
+		progress  = fs.Bool("progress", false, "live completion counter on stderr, updated as each scenario finishes (combines with -q for quiet-but-visible campaigns)")
+		stream    = fs.Bool("stream", false, "write campaign.csv and campaign.json incrementally as results complete, holding only out-of-order completions in memory; final bytes are identical to the buffered default")
 		analytic  = fs.String("analytic", "auto", "memsim analytic fast path: auto, off or force — all three simulate identical physics (golden-verified), so this never affects results or store keys")
 	)
 	if err := fs.Parse(argv); err != nil {
@@ -199,18 +201,105 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 			fmt.Fprintln(stdout, sweep.ProgressLine(done, total, r))
 		}
 	}
-	c := eng.RunContext(ctx, grid, runner)
 
+	// Per-campaign hooks (the live counter, the incremental emitters)
+	// ride the engine's serialized progress funnel, which fires exactly
+	// once per scenario — warm hits, in-campaign duplicates and
+	// never-started cells included — so the stream emitters always see
+	// a complete campaign.
+	scenarios := grid.Expand()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return runtimeErr(stderr, err)
 	}
 	csvPath := filepath.Join(*out, "campaign.csv")
-	if err := emitFile(csvPath, sweep.CSVEmitter{}, c); err != nil {
-		return runtimeErr(stderr, err)
-	}
 	jsonPath := filepath.Join(*out, "campaign.json")
-	if err := emitFile(jsonPath, sweep.JSONEmitter{Indent: true}, c); err != nil {
-		return runtimeErr(stderr, err)
+	var hooks []func(done, total int, r sweep.Result)
+	if *progress {
+		// One carriage-returned line on stderr: stdout keeps its
+		// byte-stable contract, and -q campaigns stay observable.
+		failed := 0
+		hooks = append(hooks, func(done, total int, r sweep.Result) {
+			if r.Err != nil && !errors.Is(r.Err, sweep.ErrUnstarted) {
+				failed++
+			}
+			fmt.Fprintf(stderr, "\rsweep: %d/%d scenarios complete (%d failed)", done, total, failed)
+		})
+	}
+	var streamErr error
+	var streamClose func() error
+	if *stream {
+		// Incremental artifacts: rows spill to disk in grid order as
+		// results finalize, the files assemble at Close, and the final
+		// bytes match the buffered emitters exactly. Memory holds only
+		// completions that arrived ahead of a still-running cell.
+		csvFile, err := os.Create(csvPath)
+		if err != nil {
+			return runtimeErr(stderr, err)
+		}
+		cs, err := sweep.NewCSVStream(csvFile, scenarios)
+		if err != nil {
+			csvFile.Close()
+			return runtimeErr(stderr, err)
+		}
+		jsonFile, err := os.Create(jsonPath)
+		if err != nil {
+			cs.Close()
+			csvFile.Close()
+			return runtimeErr(stderr, err)
+		}
+		js, err := sweep.NewJSONStream(jsonFile, scenarios, true)
+		if err != nil {
+			cs.Close()
+			csvFile.Close()
+			jsonFile.Close()
+			return runtimeErr(stderr, err)
+		}
+		hooks = append(hooks, func(done, total int, r sweep.Result) {
+			if streamErr != nil {
+				return
+			}
+			if err := cs.Add(r); err != nil {
+				streamErr = err
+				return
+			}
+			if err := js.Add(r); err != nil {
+				streamErr = err
+			}
+		})
+		streamClose = func() error {
+			errs := streamErr
+			for _, close := range []func() error{cs.Close, csvFile.Close, js.Close, jsonFile.Close} {
+				if err := close(); err != nil {
+					errs = errors.Join(errs, err)
+				}
+			}
+			return errs
+		}
+	}
+	var perRun func(done, total int, r sweep.Result)
+	if len(hooks) > 0 {
+		perRun = func(done, total int, r sweep.Result) {
+			for _, h := range hooks {
+				h(done, total, r)
+			}
+		}
+	}
+	c := eng.RunScenariosContextProgress(ctx, scenarios, runner, perRun)
+	if *progress {
+		fmt.Fprintln(stderr) // terminate the carriage-returned line
+	}
+
+	if streamClose != nil {
+		if err := streamClose(); err != nil {
+			return runtimeErr(stderr, err)
+		}
+	} else {
+		if err := emitFile(csvPath, sweep.CSVEmitter{}, c); err != nil {
+			return runtimeErr(stderr, err)
+		}
+		if err := emitFile(jsonPath, sweep.JSONEmitter{Indent: true}, c); err != nil {
+			return runtimeErr(stderr, err)
+		}
 	}
 
 	if !*quiet {

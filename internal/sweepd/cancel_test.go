@@ -467,7 +467,9 @@ func (w *brokenPipeWriter) Header() http.Header { return w.header }
 
 func (w *brokenPipeWriter) WriteHeader(status int) { w.status = status }
 
-func (w *brokenPipeWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("write: %w", syscall.EPIPE) }
+func (w *brokenPipeWriter) Write([]byte) (int, error) {
+	return 0, fmt.Errorf("write: %w", syscall.EPIPE)
+}
 
 // TestWriteJSONLogsBrokenPipe: response-encode failures have no client
 // left to report to, so they must reach the server log instead of

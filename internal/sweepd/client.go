@@ -52,6 +52,32 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// maxHealthzBytes bounds a healthz body; maxExpandBytes bounds a
+// buffered expand body (and the total size of an expand stream):
+// maxCells results at a few KB each stay far below it, while an
+// endless body from a wedged worker must not balloon the dispatcher's
+// memory. A package var so tests can exercise the oversize path
+// without generating 64 MiB.
+const maxHealthzBytes = int64(1 << 20)
+
+var maxExpandBytes = int64(64 << 20)
+
+// readBody reads a bounded response body, returning an explicit error
+// when the server sends more than limit bytes. It reads limit+1 so
+// truncation is detectable: a plain LimitReader(limit) would silently
+// cut the body, and the loss would surface downstream as a misleading
+// parse error instead of naming the real problem.
+func (c *Client) readBody(body io.Reader, limit int64, what string) ([]byte, error) {
+	b, err := io.ReadAll(io.LimitReader(body, limit+1))
+	if err != nil {
+		return nil, fmt.Errorf("sweepd client: %s: reading %s: %w", c.BaseURL, what, err)
+	}
+	if int64(len(b)) > limit {
+		return nil, fmt.Errorf("sweepd client: %s: %s exceeds %d-byte limit; refusing to parse a truncated body", c.BaseURL, what, limit)
+	}
+	return b, nil
+}
+
 // errorBody extracts the server's {"error": ...} message from a non-200
 // response, falling back to the raw body.
 func errorBody(body []byte) string {
@@ -75,9 +101,9 @@ func (c *Client) Healthz(ctx context.Context) (Health, error) {
 		return Health{}, fmt.Errorf("sweepd client: %s: %w", c.BaseURL, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	body, err := c.readBody(resp.Body, maxHealthzBytes, "healthz response")
 	if err != nil {
-		return Health{}, fmt.Errorf("sweepd client: %s: reading healthz: %w", c.BaseURL, err)
+		return Health{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		return Health{}, fmt.Errorf("sweepd client: %s: healthz status %d: %s", c.BaseURL, resp.StatusCode, errorBody(body))
@@ -109,6 +135,24 @@ type ExecResult struct {
 // worker-level error (the whole batch is unaccounted for); per-cell
 // failures ride in the results.
 func (c *Client) ExecuteScenarios(ctx context.Context, scenarios []sweep.Scenario) ([]ExecResult, error) {
+	resp, err := c.postExpand(ctx, scenarios, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := c.readBody(resp.Body, maxExpandBytes, "expand response")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sweepd client: %s: expand status %d: %s", c.BaseURL, resp.StatusCode, errorBody(body))
+	}
+	return c.decodeBufferedExpand(body, scenarios)
+}
+
+// postExpand posts the scenarios in explicit-key form, optionally
+// asking for a streaming response via the Accept header.
+func (c *Client) postExpand(ctx context.Context, scenarios []sweep.Scenario, accept string) (*http.Response, error) {
 	keys := make([]string, len(scenarios))
 	for i, s := range scenarios {
 		keys[i] = s.Key()
@@ -122,21 +166,20 @@ func (c *Client) ExecuteScenarios(ctx context.Context, scenarios []sweep.Scenari
 		return nil, fmt.Errorf("sweepd client: %s: %w", c.BaseURL, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("sweepd client: %s: %w", c.BaseURL, err)
 	}
-	defer resp.Body.Close()
-	// Bounded read: maxCells results at a few KB each stay far below
-	// this; an endless body from a wedged worker (or a typo'd URL that
-	// answers 200 forever) must not balloon the dispatcher's memory.
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return nil, fmt.Errorf("sweepd client: %s: reading expand response: %w", c.BaseURL, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("sweepd client: %s: expand status %d: %s", c.BaseURL, resp.StatusCode, errorBody(body))
-	}
+	return resp, nil
+}
+
+// decodeBufferedExpand parses a buffered explicit-form expand body and
+// checks it against the request: same physics, one result per
+// scenario, in request order.
+func (c *Client) decodeBufferedExpand(body []byte, scenarios []sweep.Scenario) ([]ExecResult, error) {
 	var er executeResponse
 	if err := json.Unmarshal(body, &er); err != nil {
 		return nil, fmt.Errorf("sweepd client: %s: bad expand response: %w", c.BaseURL, err)
@@ -152,24 +195,149 @@ func (c *Client) ExecuteScenarios(ctx context.Context, scenarios []sweep.Scenari
 		if want := scenarios[i].ID(); r.ID != want {
 			return nil, fmt.Errorf("sweepd client: %s: result %d is scenario %s, want %s", c.BaseURL, i, r.ID, want)
 		}
-		res := ExecResult{ID: r.ID, Unstarted: r.Unstarted}
-		if r.Error != "" {
-			res.Err = fmt.Errorf("worker %s: %s", c.BaseURL, r.Error)
-			out[i] = res
-			continue
+		res, err := c.decodeExecResult(r)
+		if err != nil {
+			return nil, err
 		}
-		m := make(sweep.Metrics, 0, len(r.Metrics))
-		for _, jm := range r.Metrics {
-			// The bits field is authoritative: the decimal mirror cannot
-			// carry NaN/Inf and is for humans.
-			bits, err := strconv.ParseUint(jm.Bits, 16, 64)
-			if err != nil {
-				return nil, fmt.Errorf("sweepd client: %s: result %s metric %s: bad bits %q", c.BaseURL, r.ID, jm.Name, jm.Bits)
-			}
-			m.Add(jm.Name, math.Float64frombits(bits))
-		}
-		res.Metrics = m
 		out[i] = res
+	}
+	return out, nil
+}
+
+// decodeExecResult converts one wire result into an ExecResult,
+// reconstructing metric values from their IEEE-754 bits — the bits
+// field is authoritative; the decimal mirror cannot carry NaN/Inf and
+// is for humans.
+func (c *Client) decodeExecResult(r executeResult) (ExecResult, error) {
+	res := ExecResult{ID: r.ID, Unstarted: r.Unstarted}
+	if r.Error != "" {
+		res.Err = fmt.Errorf("worker %s: %s", c.BaseURL, r.Error)
+		return res, nil
+	}
+	m := make(sweep.Metrics, 0, len(r.Metrics))
+	for _, jm := range r.Metrics {
+		bits, err := strconv.ParseUint(jm.Bits, 16, 64)
+		if err != nil {
+			return ExecResult{}, fmt.Errorf("sweepd client: %s: result %s metric %s: bad bits %q", c.BaseURL, r.ID, jm.Name, jm.Bits)
+		}
+		m.Add(jm.Name, math.Float64frombits(bits))
+	}
+	res.Metrics = m
+	return res, nil
+}
+
+// ExecuteScenariosStream is ExecuteScenarios over the NDJSON expand
+// mode: onResult (when non-nil) fires for each cell the moment its
+// frame arrives — in completion order, not request order — and the
+// full request-ordered result slice is returned at the end, identical
+// to what ExecuteScenarios would have returned. A worker predating the
+// streaming protocol answers with a buffered body; the client detects
+// that by Content-Type and falls back transparently (onResult then
+// fires for every cell when the body arrives).
+//
+// On a non-nil error the batch is unaccounted for, exactly as with
+// ExecuteScenarios — but onResult may already have fired for a prefix
+// of cells. Those results are valid (they carry bit-exact metrics the
+// worker really produced); callers tracking per-cell delivery can keep
+// them and re-dispatch only the rest. A stream that dies before its
+// terminal summary frame is reported as truncated, never silently
+// treated as complete.
+func (c *Client) ExecuteScenariosStream(ctx context.Context, scenarios []sweep.Scenario, onResult func(i int, r ExecResult)) ([]ExecResult, error) {
+	resp, err := c.postExpand(ctx, scenarios, "application/x-ndjson")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, rerr := c.readBody(resp.Body, maxHealthzBytes, "expand error response")
+		if rerr != nil {
+			return nil, rerr
+		}
+		return nil, fmt.Errorf("sweepd client: %s: expand status %d: %s", c.BaseURL, resp.StatusCode, errorBody(body))
+	}
+	ct, _, _ := strings.Cut(resp.Header.Get("Content-Type"), ";")
+	if !strings.EqualFold(strings.TrimSpace(ct), "application/x-ndjson") {
+		// Pre-streaming worker: buffered response despite our Accept.
+		body, err := c.readBody(resp.Body, maxExpandBytes, "expand response")
+		if err != nil {
+			return nil, err
+		}
+		out, err := c.decodeBufferedExpand(body, scenarios)
+		if err != nil {
+			return nil, err
+		}
+		if onResult != nil {
+			for i, r := range out {
+				onResult(i, r)
+			}
+		}
+		return out, nil
+	}
+
+	// Results arrive in completion order; match each frame to the
+	// earliest not-yet-delivered request index with its scenario ID
+	// (duplicate scenarios in one batch each get a frame — the server
+	// finalizes one result per requested cell).
+	pending := make(map[string][]int, len(scenarios))
+	for i, s := range scenarios {
+		id := s.ID()
+		pending[id] = append(pending[id], i)
+	}
+	out := make([]ExecResult, len(scenarios))
+	delivered := 0
+	// The limit bounds the whole stream, matching the buffered mode's
+	// contract; held memory stays one frame regardless.
+	dec := json.NewDecoder(io.LimitReader(resp.Body, maxExpandBytes+1))
+	var sawHeader, sawSummary bool
+	for !sawSummary {
+		var f streamFrame
+		if err := dec.Decode(&f); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("sweepd client: %s: bad expand stream: %w", c.BaseURL, err)
+		}
+		switch {
+		case f.Stream != nil:
+			if sawHeader {
+				return nil, fmt.Errorf("sweepd client: %s: duplicate stream header frame", c.BaseURL)
+			}
+			sawHeader = true
+			if c.Physics != "" && f.Stream.Physics != c.Physics {
+				return nil, fmt.Errorf("sweepd client: %s: stream simulated under physics %s, want %s", c.BaseURL, f.Stream.Physics, c.Physics)
+			}
+			if f.Stream.Scenarios != len(scenarios) {
+				return nil, fmt.Errorf("sweepd client: %s: stream announces %d results for %d scenarios", c.BaseURL, f.Stream.Scenarios, len(scenarios))
+			}
+		case f.Result != nil:
+			if !sawHeader {
+				return nil, fmt.Errorf("sweepd client: %s: result frame before stream header", c.BaseURL)
+			}
+			q := pending[f.Result.ID]
+			if len(q) == 0 {
+				return nil, fmt.Errorf("sweepd client: %s: stream delivered unrequested (or extra) result %s", c.BaseURL, f.Result.ID)
+			}
+			i := q[0]
+			pending[f.Result.ID] = q[1:]
+			res, err := c.decodeExecResult(*f.Result)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+			delivered++
+			if onResult != nil {
+				onResult(i, res)
+			}
+		case f.Summary != nil:
+			sawSummary = true
+		default:
+			return nil, fmt.Errorf("sweepd client: %s: unrecognized expand stream frame", c.BaseURL)
+		}
+	}
+	if !sawSummary {
+		return nil, fmt.Errorf("sweepd client: %s: expand stream truncated before its summary frame; batch unaccounted for", c.BaseURL)
+	}
+	if delivered != len(scenarios) {
+		return nil, fmt.Errorf("sweepd client: %s: stream delivered %d of %d results", c.BaseURL, delivered, len(scenarios))
 	}
 	return out, nil
 }

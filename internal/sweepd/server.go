@@ -21,6 +21,21 @@
 // list carrying bit-exact IEEE-754 metric bits, so a dispatcher can
 // merge fleet results into a byte-identical campaign.
 //
+// Expand additionally has a streaming mode, negotiated with
+// "Accept: application/x-ndjson": the response is NDJSON — one JSON
+// object per line — emitting each cell's result (same exact-bits
+// encoding as the buffered explicit form) the moment it finalizes,
+// framed as a tagged union:
+//
+//	{"stream":{...}}    first line: physics + scenario count
+//	{"result":{...}}    one per cell, completion order
+//	{"summary":{...}}   last line: counts + incomplete/store status
+//
+// Because headers leave with the first flushed frame, the
+// X-Expand-Incomplete / X-Store-Error signals of the buffered mode
+// ride in the terminal summary frame instead. A stream that ends
+// without a summary line was truncated and must not be trusted.
+//
 // Healthz reports the daemon's simulation capacity (worker slots), the
 // number of in-flight expand requests, and the physics version, so a
 // dispatcher can weight shards by capacity and refuse mixed-physics
@@ -46,6 +61,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -54,9 +70,10 @@ import (
 	"cloversim/internal/workload"
 )
 
-// maxCells bounds one expand request, so a typo'd grid cannot wedge
-// the daemon behind a million simulations.
-const maxCells = 4096
+// DefaultMaxCells bounds one expand request when Server.MaxCells is
+// unset, so a typo'd grid cannot wedge the daemon behind a million
+// simulations.
+const DefaultMaxCells = 4096
 
 // ResultStore is the slice of *store.Store the server depends on,
 // lifted to an interface so tests can inject durability failures
@@ -88,6 +105,11 @@ type Server struct {
 	// bugs) that cannot reach the client anymore. Nil means
 	// log.Default().
 	ErrorLog *log.Logger
+	// MaxCells caps the cell count of one expand request, grid or
+	// explicit form. Zero means DefaultMaxCells. The cap is advertised
+	// in /v1/healthz as max_cells so dispatchers can clamp their chunk
+	// sizes up front instead of discovering the limit through 400s.
+	MaxCells int
 
 	st       ResultStore
 	eng      *sweep.Engine
@@ -128,6 +150,14 @@ func New(st ResultStore, runner sweep.RunnerContext, workers int) *Server {
 		return runner(ctx, sc)
 	}
 	return s
+}
+
+// maxCells resolves the per-expand cell cap.
+func (s *Server) maxCells() int {
+	if s.MaxCells > 0 {
+		return s.MaxCells
+	}
+	return DefaultMaxCells
 }
 
 // logf reports server-side failures that have no client to return to.
@@ -173,7 +203,8 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 // InFlight the number of expand requests currently being served.
 // Physics lets a dispatcher refuse mixed-physics fleets — results
 // simulated under different physics versions must never merge into one
-// campaign.
+// campaign. MaxCells is the largest expand this daemon accepts, so a
+// dispatcher clamps its chunk sizes instead of tripping 400s.
 type Health struct {
 	OK       bool   `json:"ok"`
 	Physics  string `json:"physics"`
@@ -181,6 +212,7 @@ type Health struct {
 	Stats    string `json:"stats"`
 	Capacity int    `json:"capacity"`
 	InFlight int    `json:"inflight"`
+	MaxCells int    `json:"max_cells"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -191,6 +223,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Stats:    s.st.Stats().String(),
 		Capacity: cap(s.sem),
 		InFlight: int(s.inflight.Load()),
+		MaxCells: s.maxCells(),
 	})
 }
 
@@ -318,14 +351,14 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, r, http.StatusBadRequest, "%v", err)
 			return
 		}
-		if n := grid.Size(); n > maxCells {
-			s.writeError(w, r, http.StatusBadRequest, "grid has %d cells, limit %d", n, maxCells)
+		if n, limit := grid.Size(), s.maxCells(); n > limit {
+			s.writeError(w, r, http.StatusBadRequest, "grid has %d cells, limit %d", n, limit)
 			return
 		}
 		scenarios = grid.Expand()
 	}
-	if n := len(scenarios); n > maxCells {
-		s.writeError(w, r, http.StatusBadRequest, "%d scenarios, limit %d", n, maxCells)
+	if n, limit := len(scenarios), s.maxCells(); n > limit {
+		s.writeError(w, r, http.StatusBadRequest, "%d scenarios, limit %d", n, limit)
 		return
 	}
 	// The campaign runs under the request context: a client that
@@ -339,39 +372,12 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.ExpandTimeout)
 		defer cancel()
 	}
+	if acceptsNDJSON(r.Header.Get("Accept")) {
+		s.expandStream(w, ctx, scenarios)
+		return
+	}
 	c := s.eng.RunScenariosContext(ctx, scenarios, s.runner)
-	// Durability before acknowledgement: a 200 without X-Store-Error
-	// asserts every result in the body is durable. The engine memoizer
-	// can serve results whose write-through failed — in this request
-	// (CacheErr) or an earlier one — so verify each successful cell is
-	// indexed and, since the metrics are in hand, repair misses by
-	// retrying the Put (a transient disk-full must not condemn the
-	// cell to X-Store-Error, let alone for the daemon's lifetime).
-	// Post-repair verification subsumes CacheErr: only a cell that is
-	// STILL not persistable flags the loss. The Sync runs after the
-	// repairs so they ride the same pre-response fsync; it is free on
-	// a clean store (the all-warm steady state) and re-attempts a
-	// fsync an earlier request failed rather than vouching for it.
-	var storeErr error
-	for _, res := range c.Results {
-		if res.Err != nil {
-			continue
-		}
-		if _, ok := s.st.Lookup(res.ID); ok {
-			continue
-		}
-		if perr := s.st.Put(res.Scenario, res.Metrics); perr != nil {
-			storeErr = errors.Join(storeErr, fmt.Errorf("sweepd: result %s served from memory but not persistable: %w", res.ID, perr))
-		}
-	}
-	if err := s.st.Sync(); err != nil {
-		storeErr = errors.Join(storeErr, err)
-	}
-	if c.CacheErr != nil {
-		// Worth a trace even when repaired: write-throughs failing at
-		// all is an operational smell.
-		s.logf("sweepd: POST /v1/expand: write-through: %v", c.CacheErr)
-	}
+	storeErr := s.persist(c)
 	w.Header().Set("Content-Type", "application/json")
 	if storeErr != nil {
 		// The campaign is correct — the durability loss is server-side.
@@ -406,6 +412,162 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// persist enforces durability before acknowledgement: a response
+// without a store-error signal asserts every result in it is durable.
+// The engine memoizer can serve results whose write-through failed —
+// in this request (CacheErr) or an earlier one — so verify each
+// successful cell is indexed and, since the metrics are in hand,
+// repair misses by retrying the Put (a transient disk-full must not
+// condemn the cell to a store error, let alone for the daemon's
+// lifetime). Post-repair verification subsumes CacheErr: only a cell
+// that is STILL not persistable flags the loss. The Sync runs after
+// the repairs so they ride the same pre-response fsync; it is free on
+// a clean store (the all-warm steady state) and re-attempts a fsync an
+// earlier request failed rather than vouching for it.
+func (s *Server) persist(c sweep.Campaign) error {
+	var storeErr error
+	for _, res := range c.Results {
+		if res.Err != nil {
+			continue
+		}
+		if _, ok := s.st.Lookup(res.ID); ok {
+			continue
+		}
+		if perr := s.st.Put(res.Scenario, res.Metrics); perr != nil {
+			storeErr = errors.Join(storeErr, fmt.Errorf("sweepd: result %s served from memory but not persistable: %w", res.ID, perr))
+		}
+	}
+	if err := s.st.Sync(); err != nil {
+		storeErr = errors.Join(storeErr, err)
+	}
+	if c.CacheErr != nil {
+		// Worth a trace even when repaired: write-throughs failing at
+		// all is an operational smell.
+		s.logf("sweepd: POST /v1/expand: write-through: %v", c.CacheErr)
+	}
+	return storeErr
+}
+
+// acceptsNDJSON reports whether an Accept header asks for the
+// streaming expand response. Deliberately an exact media-type match
+// per comma-separated entry: */* or application/* keep the buffered
+// default — streaming is opt-in, never inferred.
+func acceptsNDJSON(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(part, ";")
+		if strings.EqualFold(strings.TrimSpace(mt), "application/x-ndjson") {
+			return true
+		}
+	}
+	return false
+}
+
+// streamFrame is one NDJSON line of a streaming expand: exactly one
+// of the fields is set, making each line self-describing.
+type streamFrame struct {
+	Stream  *streamHeader  `json:"stream,omitempty"`
+	Result  *executeResult `json:"result,omitempty"`
+	Summary *streamSummary `json:"summary,omitempty"`
+}
+
+// streamHeader opens the stream before any cell has finished, letting
+// clients fail fast on a physics mismatch instead of discovering it
+// after the last cell.
+type streamHeader struct {
+	Physics   string `json:"physics"`
+	Scenarios int    `json:"scenarios"`
+}
+
+// streamSummary closes the stream. It carries what the buffered mode
+// puts in headers — headers left with the first flushed frame, so
+// completion and durability status can only ride here. ok + failed +
+// unstarted == scenarios; unstarted cells (cancelled before they ran)
+// are not failures. Incomplete and StoreError mirror the
+// X-Expand-Incomplete and X-Store-Error header values.
+type streamSummary struct {
+	Scenarios  int    `json:"scenarios"`
+	OK         int    `json:"ok"`
+	Failed     int    `json:"failed"`
+	Unstarted  int    `json:"unstarted"`
+	Incomplete string `json:"incomplete,omitempty"`
+	StoreError string `json:"store_error,omitempty"`
+}
+
+// expandStream serves one expand as NDJSON frames, emitting each cell
+// the moment the engine finalizes it. Results stream before the
+// durability repair can run, so — unlike the buffered mode — a frame
+// is not an acknowledgement of persistence; the summary's store_error
+// is. The engine serializes progress callbacks, so writeFrame needs no
+// lock of its own.
+func (s *Server) expandStream(w http.ResponseWriter, ctx context.Context, scenarios []sweep.Scenario) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	var writeErr error
+	writeFrame := func(f streamFrame) {
+		if writeErr != nil {
+			return
+		}
+		b, err := json.Marshal(f)
+		if err == nil {
+			b = append(b, '\n')
+			_, err = w.Write(b)
+		}
+		if err == nil {
+			// Flush per frame: the point of the stream is that the
+			// client sees a cell the moment it completes, not when the
+			// buffer happens to fill. A writer without flush support
+			// (plain buffered proxy) still gets correct bytes.
+			if ferr := rc.Flush(); ferr != nil && !errors.Is(ferr, http.ErrNotSupported) {
+				err = ferr
+			}
+		}
+		if err != nil {
+			// The client is gone (or the connection broke): remember
+			// the first failure and stop writing. The campaign itself
+			// keeps running under its own context — cancellation is the
+			// request context's job, not the response writer's.
+			writeErr = err
+		}
+	}
+	writeFrame(streamFrame{Stream: &streamHeader{Physics: s.st.Physics(), Scenarios: len(scenarios)}})
+	c := s.eng.RunScenariosContextProgress(ctx, scenarios, s.runner,
+		func(done, total int, res sweep.Result) {
+			er := toExecuteResult(res)
+			writeFrame(streamFrame{Result: &er})
+		})
+	storeErr := s.persist(c)
+	sum := streamSummary{Scenarios: len(c.Results)}
+	for _, res := range c.Results {
+		switch {
+		case res.Err == nil:
+			sum.OK++
+		case errors.Is(res.Err, sweep.ErrUnstarted):
+			sum.Unstarted++
+		default:
+			sum.Failed++
+		}
+	}
+	if c.Interrupted() {
+		// Same keying as the buffered mode's X-Expand-Incomplete: on
+		// the campaign, not ctx.Err() — a deadline that fires after the
+		// last cell finalized did not cost the client anything.
+		reason := "campaign cancelled"
+		if err := ctx.Err(); err != nil {
+			reason = err.Error()
+		}
+		sum.Incomplete = reason
+	}
+	if storeErr != nil {
+		s.logf("sweepd: POST /v1/expand: store: %v", storeErr)
+		sum.StoreError = "store writes failed; results not persisted"
+	}
+	writeFrame(streamFrame{Summary: &sum})
+	if writeErr != nil {
+		s.logf("sweepd: POST /v1/expand: writing stream: %v", writeErr)
+	}
+}
+
 // executeResponse is the explicit-form expand response: one result per
 // requested scenario, in request order. Metric values carry their
 // IEEE-754 bits so the dispatcher's merged campaign is bit-exact with
@@ -424,20 +586,27 @@ type executeResult struct {
 	Metrics   []jsonMetric `json:"metrics,omitempty"`
 }
 
+// toExecuteResult renders one finalized cell in the exact-bits wire
+// form — shared by the buffered explicit response and the streaming
+// result frames so the two encodings cannot drift.
+func toExecuteResult(res sweep.Result) executeResult {
+	er := executeResult{ID: res.ID, Key: res.Scenario.Key()}
+	if res.Err != nil {
+		er.Error = res.Err.Error()
+		er.Unstarted = errors.Is(res.Err, sweep.ErrUnstarted)
+	} else {
+		er.Metrics = toJSONMetrics(res.Metrics)
+	}
+	return er
+}
+
 func encodeExecuteResponse(w io.Writer, physics string, c sweep.Campaign) error {
 	resp := executeResponse{
 		Physics: physics,
 		Results: make([]executeResult, 0, len(c.Results)),
 	}
 	for _, res := range c.Results {
-		er := executeResult{ID: res.ID, Key: res.Scenario.Key()}
-		if res.Err != nil {
-			er.Error = res.Err.Error()
-			er.Unstarted = errors.Is(res.Err, sweep.ErrUnstarted)
-		} else {
-			er.Metrics = toJSONMetrics(res.Metrics)
-		}
-		resp.Results = append(resp.Results, er)
+		resp.Results = append(resp.Results, toExecuteResult(res))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

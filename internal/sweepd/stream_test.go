@@ -1,0 +1,301 @@
+package sweepd
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cloversim/internal/store"
+	"cloversim/internal/sweep"
+)
+
+// streamTestRunner exercises the encodings a stream must carry: bit-
+// exact finite values, NaN, and a per-cell failure.
+func streamTestRunner(_ context.Context, s sweep.Scenario) (sweep.Metrics, error) {
+	if s.Ranks == 3 {
+		return nil, fmt.Errorf("injected failure")
+	}
+	var m sweep.Metrics
+	m.Add("v", float64(s.Ranks)/3.0)
+	if s.Ranks == 2 {
+		m.Add("odd", math.NaN())
+	}
+	return m, nil
+}
+
+// TestExpandStreamRoundTrip: the NDJSON expand mode must deliver the
+// same results as the buffered mode — one per requested cell (dups
+// included), request-ordered in the returned slice, bit-exact metrics,
+// per-cell errors intact — with onResult firing exactly once per cell.
+func TestExpandStreamRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(New(execStore(t), streamTestRunner, 2).Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+	c.Physics = execPhysics
+
+	scs := execScenarios(4)
+	scs = append(scs, scs[0]) // duplicate cell: one frame per requested index
+	var fired atomic.Int64
+	streamed, err := c.ExecuteScenariosStream(context.Background(), scs, func(i int, r ExecResult) {
+		fired.Add(1)
+		if want := scs[i].ID(); r.ID != want {
+			t.Errorf("onResult index %d carries %s, want %s", i, r.ID, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() != int64(len(scs)) {
+		t.Errorf("onResult fired %d times for %d cells", fired.Load(), len(scs))
+	}
+	// The warm buffered repeat must agree cell for cell.
+	buffered, err := c.ExecuteScenarios(context.Background(), scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scs {
+		s, b := streamed[i], buffered[i]
+		if s.ID != b.ID || s.Unstarted != b.Unstarted || (s.Err == nil) != (b.Err == nil) {
+			t.Fatalf("cell %d: stream %+v vs buffered %+v", i, s, b)
+		}
+		if s.Err != nil {
+			if !strings.Contains(s.Err.Error(), "injected failure") {
+				t.Errorf("cell %d error %v, want the injected failure", i, s.Err)
+			}
+			continue
+		}
+		if len(s.Metrics) != len(b.Metrics) {
+			t.Fatalf("cell %d: %d streamed metrics vs %d buffered", i, len(s.Metrics), len(b.Metrics))
+		}
+		for j := range s.Metrics {
+			sb := math.Float64bits(s.Metrics[j].Value)
+			bb := math.Float64bits(b.Metrics[j].Value)
+			if s.Metrics[j].Name != b.Metrics[j].Name || sb != bb {
+				t.Errorf("cell %d metric %d: stream %s/%016x vs buffered %s/%016x",
+					i, j, s.Metrics[j].Name, sb, b.Metrics[j].Name, bb)
+			}
+		}
+	}
+}
+
+// TestExpandStreamIncremental is the point of the protocol: a cell's
+// frame must arrive while other cells are still simulating. The second
+// cell blocks until the client has SEEN the first cell's result — if
+// the server buffered the response, this deadlocks (and the timeout
+// fails the test).
+func TestExpandStreamIncremental(t *testing.T) {
+	firstSeen := make(chan struct{})
+	runner := func(ctx context.Context, s sweep.Scenario) (sweep.Metrics, error) {
+		if s.Ranks == 2 {
+			select {
+			case <-firstSeen:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		var m sweep.Metrics
+		m.Add("v", float64(s.Ranks))
+		return m, nil
+	}
+	ts := httptest.NewServer(New(execStore(t), runner, 2).Handler())
+	t.Cleanup(ts.Close)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var once atomic.Bool
+	res, err := NewClient(ts.URL).ExecuteScenariosStream(ctx, execScenarios(2), func(i int, r ExecResult) {
+		if r.ID == execScenarios(1)[0].ID() && once.CompareAndSwap(false, true) {
+			close(firstSeen)
+		}
+	})
+	if err != nil {
+		t.Fatalf("streaming expand failed (buffered response would deadlock here): %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Errorf("cell %d failed: %v", i, r.Err)
+		}
+	}
+}
+
+// TestExpandStreamBufferedFallback: a pre-streaming worker ignores the
+// Accept header and answers buffered JSON; the streaming client must
+// detect that by Content-Type and still deliver every cell.
+func TestExpandStreamBufferedFallback(t *testing.T) {
+	inner := New(execStore(t), streamTestRunner, 2).Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Header.Del("Accept") // the old server never saw this header
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	scs := execScenarios(3)
+	var fired int
+	res, err := NewClient(ts.URL).ExecuteScenariosStream(context.Background(), scs, func(i int, r ExecResult) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != len(scs) {
+		t.Errorf("fallback fired onResult %d times for %d cells", fired, len(scs))
+	}
+	if res[0].Err != nil || res[1].Err != nil || res[2].Err == nil {
+		t.Errorf("fallback results wrong: %+v", res)
+	}
+}
+
+// TestExpandStreamTruncated: a stream that dies before its summary
+// frame must error as truncated — the surfaced prefix is real, but the
+// batch is unaccounted for and must never pass as complete.
+func TestExpandStreamTruncated(t *testing.T) {
+	scs := execScenarios(2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintf(w, `{"stream":{"physics":%q,"scenarios":2}}`+"\n", execPhysics)
+		fmt.Fprintf(w, `{"result":{"id":%q,"key":%q,"metrics":[{"name":"v","bits":"3ff0000000000000"}]}}`+"\n",
+			scs[0].ID(), scs[0].Key())
+		// No summary: the worker died mid-campaign.
+	}))
+	t.Cleanup(ts.Close)
+
+	var surfaced int
+	_, err := NewClient(ts.URL).ExecuteScenariosStream(context.Background(), scs, func(i int, r ExecResult) {
+		surfaced++
+		if v, ok := r.Metrics.Get("v"); !ok || v != 1.0 {
+			t.Errorf("surfaced prefix cell carries v=%v, want 1", v)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated stream error = %v, want truncation report", err)
+	}
+	if surfaced != 1 {
+		t.Errorf("surfaced %d cells before truncation, want 1", surfaced)
+	}
+}
+
+// TestExpandStreamPhysicsMismatch: the header frame lets the client
+// fail fast on foreign physics instead of discovering it at the end.
+func TestExpandStreamPhysicsMismatch(t *testing.T) {
+	ts := httptest.NewServer(New(execStore(t), streamTestRunner, 2).Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+	c.Physics = "other-physics"
+	if _, err := c.ExecuteScenariosStream(context.Background(), execScenarios(1), nil); err == nil || !strings.Contains(err.Error(), "physics") {
+		t.Fatalf("foreign-physics stream error = %v, want physics mismatch", err)
+	}
+}
+
+// TestClientOversizedResponses is the regression lock for the bounded-
+// read fix: a body over the limit must surface as an explicit
+// oversized-response error on both endpoints, not be silently cut and
+// reported as a misleading parse failure.
+func TestClientOversizedResponses(t *testing.T) {
+	huge := strings.Repeat(" ", int(maxHealthzBytes)+1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"ok":true,"padding":%q}`, huge)
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+
+	if _, err := c.Healthz(context.Background()); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("oversized healthz error = %v, want explicit limit report", err)
+	}
+
+	old := maxExpandBytes
+	maxExpandBytes = 256
+	t.Cleanup(func() { maxExpandBytes = old })
+	if _, err := c.ExecuteScenarios(context.Background(), execScenarios(1)); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("oversized expand error = %v, want explicit limit report", err)
+	}
+}
+
+// TestMaxCellsConfigurable: the per-expand cap is a Server knob,
+// enforced on explicit batches and advertised in healthz so
+// dispatchers can clamp chunks up front.
+func TestMaxCellsConfigurable(t *testing.T) {
+	srv := New(execStore(t), streamTestRunner, 2)
+	srv.MaxCells = 2
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+
+	h, err := c.Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxCells != 2 {
+		t.Errorf("healthz max_cells = %d, want 2", h.MaxCells)
+	}
+	if _, err := c.ExecuteScenarios(context.Background(), execScenarios(3)); err == nil || !strings.Contains(err.Error(), "limit 2") {
+		t.Errorf("3-cell expand against cap 2: err = %v, want limit rejection", err)
+	}
+	if _, err := c.ExecuteScenarios(context.Background(), execScenarios(2)); err != nil {
+		t.Errorf("2-cell expand within cap failed: %v", err)
+	}
+}
+
+// TestHealthzDefaultMaxCells: an unconfigured server advertises the
+// package default, so old deployments keep their historical cap.
+func TestHealthzDefaultMaxCells(t *testing.T) {
+	ts := httptest.NewServer(New(execStore(t), streamTestRunner, 2).Handler())
+	t.Cleanup(ts.Close)
+	h, err := NewClient(ts.URL).Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxCells != DefaultMaxCells {
+		t.Errorf("healthz max_cells = %d, want default %d", h.MaxCells, DefaultMaxCells)
+	}
+}
+
+// benchExpand measures one warm expand round trip (the store is
+// pre-populated, so the numbers isolate transport + encode/decode, not
+// simulation). ReportAllocs makes the buffered-vs-streaming memory
+// difference visible in B/op.
+func benchExpand(b *testing.B, n int, stream bool) {
+	runner := func(_ context.Context, s sweep.Scenario) (sweep.Metrics, error) {
+		var m sweep.Metrics
+		m.Add("v", float64(s.Ranks)/3.0)
+		m.Add("w", float64(s.Ranks)*1.5)
+		return m, nil
+	}
+	st, err := store.Open(filepath.Join(b.TempDir(), "store"), execPhysics)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	ts := httptest.NewServer(New(st, runner, 4).Handler())
+	b.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+	scs := execScenarios(n)
+	if _, err := c.ExecuteScenarios(context.Background(), scs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var res []ExecResult
+		var err error
+		if stream {
+			res, err = c.ExecuteScenariosStream(context.Background(), scs, func(int, ExecResult) {})
+		} else {
+			res, err = c.ExecuteScenarios(context.Background(), scs)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != n {
+			b.Fatalf("%d results", len(res))
+		}
+	}
+}
+
+func BenchmarkExpandBuffered(b *testing.B)  { benchExpand(b, 512, false) }
+func BenchmarkExpandStreaming(b *testing.B) { benchExpand(b, 512, true) }
