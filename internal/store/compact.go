@@ -1,0 +1,225 @@
+package store
+
+// Segment compaction: Compact merges every segment — the active one is
+// sealed first — into one deduplicated segment holding exactly the
+// store's live records, dropping stale-physics records, corrupt lines,
+// and duplicate re-encounters (conflicting duplicates are counted and
+// reported, first record still wins, exactly as in recovery).
+//
+// The publish protocol is crash-safe; a crash at ANY point recovers to
+// a correct index because the new segment is only ever visible as a
+// superset-consistent replacement:
+//
+//  1. Write every surviving line to compact.tmp (invisible to the
+//     segment glob) and fsync it.
+//  2. Remove the lowest segment's sidecar — its stamped size could
+//     coincidentally match the new content, and a stale sidecar must
+//     never describe fresh bytes.
+//  3. Atomically rename compact.tmp over the lowest segment and fsync
+//     the directory. From this instant the lowest segment holds every
+//     live record; the higher segments now contain only duplicates of
+//     it (or droppable lines), so recovery is correct whether or not
+//     they still exist.
+//  4. Remove the higher segments and their sidecars.
+//  5. Write the new segment's sidecar and fsync the directory.
+//
+// Compaction requires exclusive ownership of the store directory: a
+// concurrent writer process appending its own segment would have that
+// segment merged-and-removed mid-write. The embedding daemon (sweepd)
+// owns its store, so its admin endpoint is safe; for offline stores
+// use cmd/sweep -store-compact while nothing else runs.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// CompactStats reports what one Compact did.
+type CompactStats struct {
+	SegmentsBefore    int   `json:"segments_before"`
+	SegmentsAfter     int   `json:"segments_after"`
+	Records           int   `json:"records"`            // live records kept
+	DroppedStale      int   `json:"dropped_stale"`      // foreign-physics records pruned
+	DroppedCorrupt    int   `json:"dropped_corrupt"`    // undecodable lines pruned
+	DroppedDuplicates int   `json:"dropped_duplicates"` // benign duplicate lines pruned
+	Conflicts         int   `json:"conflicts"`          // duplicates with differing bits (first wins)
+	BytesBefore       int64 `json:"bytes_before"`
+	BytesAfter        int64 `json:"bytes_after"`
+}
+
+func (cs CompactStats) String() string {
+	return fmt.Sprintf("compacted %d segments (%d bytes) into %d (%d bytes): %d records kept, dropped %d stale + %d corrupt + %d duplicate, %d conflicts",
+		cs.SegmentsBefore, cs.BytesBefore, cs.SegmentsAfter, cs.BytesAfter,
+		cs.Records, cs.DroppedStale, cs.DroppedCorrupt, cs.DroppedDuplicates, cs.Conflicts)
+}
+
+// Compact merges all segments into one deduplicated, sidecar-indexed
+// segment and rebuilds the in-memory index from the result. It blocks
+// reads and writes for the duration. The store's sync Epoch changes:
+// record sequence numbers are renumbered, so replication watermarks
+// held by peers become foreign and those peers transparently restart
+// from zero (content addressing makes the re-pull converge).
+func (s *Store) Compact() (CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return CompactStats{}, errors.New("store: compact after close")
+	}
+	if err := s.sealActiveLocked(); err != nil {
+		return CompactStats{}, err
+	}
+	segs, err := s.segments()
+	if err != nil {
+		return CompactStats{}, err
+	}
+	if len(segs) == 0 {
+		return CompactStats{}, nil
+	}
+
+	cs := CompactStats{SegmentsBefore: len(segs), SegmentsAfter: 1}
+	for _, seg := range segs {
+		if fi, err := os.Stat(seg); err == nil {
+			cs.BytesBefore += fi.Size()
+		}
+	}
+
+	tmpPath := filepath.Join(s.dir, "compact.tmp")
+	entries, err := s.mergeSegments(tmpPath, segs, &cs)
+	if err != nil {
+		os.Remove(tmpPath)
+		return CompactStats{}, err
+	}
+
+	// Publish (steps 2-5 of the protocol above).
+	target := segs[0]
+	if err := os.Remove(sidecarPath(target)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		os.Remove(tmpPath)
+		return CompactStats{}, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, target); err != nil {
+		os.Remove(tmpPath)
+		return CompactStats{}, fmt.Errorf("store: compact: %w", err)
+	}
+	syncDir(s.dir)
+	for _, seg := range segs[1:] {
+		if err := os.Remove(sidecarPath(seg)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return CompactStats{}, fmt.Errorf("store: compact: %w", err)
+		}
+		if err := os.Remove(seg); err != nil {
+			return CompactStats{}, fmt.Errorf("store: compact: %w", err)
+		}
+	}
+	writeSidecar(target, cs.BytesAfter, entries) //nolint:errcheck // segment is the source of truth; next Open regenerates
+	syncDir(s.dir)
+
+	// Rebuild the in-memory view from the published state. Sequence
+	// numbers are reassigned, so the epoch must change with them.
+	s.index = map[string]*indexEntry{}
+	s.stats = Stats{}
+	s.nextSeq = 0
+	s.epoch = newEpoch()
+	if err := s.recoverAllLocked(); err != nil {
+		return cs, err
+	}
+	return cs, nil
+}
+
+// mergeSegments streams every segment in recovery order into one new
+// file at tmpPath, keeping the first occurrence of each live record
+// verbatim (bytes preserved exactly — the exact-IEEE-754-bits contract
+// carries through compaction trivially) and dropping everything else.
+// It returns the sidecar entries of the merged segment and fills in
+// the drop counters and BytesAfter.
+func (s *Store) mergeSegments(tmpPath string, segs []string, cs *CompactStats) ([]sidecarEntry, error) {
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	}
+	defer tmp.Close()
+	out := bufio.NewWriterSize(tmp, 256<<10)
+
+	seen := map[string]uint64{} // id -> canonical hash of the kept record
+	var entries []sidecarEntry
+	var outOff int64
+	for _, seg := range segs {
+		if err := s.mergeOneSegment(seg, out, &outOff, seen, &entries, cs); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Flush(); err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	}
+	cs.Records = len(entries)
+	cs.BytesAfter = outOff
+	return entries, nil
+}
+
+func (s *Store) mergeOneSegment(seg string, out *bufio.Writer, outOff *int64, seen map[string]uint64, entries *[]sidecarEntry, cs *CompactStats) error {
+	f, err := os.Open(seg)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 64<<10)
+	for {
+		// A line truncated by the maxLineBytes bound never decodes, so
+		// the exactness check recovery needs is implied here.
+		line, _, err := readLine(r)
+		if len(line) > 0 {
+			switch rec, derr := DecodeRecord(line, s.physics); {
+			case derr == nil:
+				h := canonicalHash(s.physics, rec)
+				if prev, dup := seen[rec.ID]; dup {
+					if prev == h {
+						cs.DroppedDuplicates++
+					} else {
+						cs.Conflicts++
+					}
+					break
+				}
+				if _, werr := out.Write(line); werr != nil {
+					return fmt.Errorf("store: compact: %w", werr)
+				}
+				if werr := out.WriteByte('\n'); werr != nil {
+					return fmt.Errorf("store: compact: %w", werr)
+				}
+				seen[rec.ID] = h
+				*entries = append(*entries, sidecarEntry{
+					physics: s.physics, id: rec.ID, off: *outOff, n: int64(len(line)), hash: h,
+				})
+				*outOff += int64(len(line)) + 1
+			case isStale(derr):
+				cs.DroppedStale++
+			default:
+				cs.DroppedCorrupt++
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("store: compact: reading %s: %w", seg, err)
+		}
+	}
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are
+// durable. Best-effort: not every filesystem supports it, and the
+// protocol stays correct without it — only the crash window widens.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+}

@@ -109,19 +109,29 @@ func FuzzReadLine(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bufio.NewReaderSize(bytes.NewReader(data), 16) // tiny buffer forces ErrBufferFull path
 		lines := 0
+		var total int64
 		for {
-			line, err := readLine(r)
+			line, consumed, err := readLine(r)
+			total += consumed
 			if len(line) > maxLineBytes {
 				t.Fatalf("readLine returned %d bytes, bound is %d", len(line), maxLineBytes)
 			}
 			if bytes.IndexByte(line, '\n') >= 0 {
 				t.Fatal("readLine returned an embedded newline")
 			}
+			if int64(len(line)) > consumed {
+				t.Fatalf("readLine returned %d bytes but consumed only %d", len(line), consumed)
+			}
 			lines++
 			if lines > bytes.Count(data, []byte("\n"))+1 {
 				t.Fatal("readLine invented lines")
 			}
 			if err != nil {
+				// The offset accounting behind sidecar entries: every byte
+				// of input must be attributed to exactly one line.
+				if total != int64(len(data)) {
+					t.Fatalf("readLine consumed %d of %d bytes", total, len(data))
+				}
 				return
 			}
 		}

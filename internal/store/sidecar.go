@@ -1,0 +1,178 @@
+package store
+
+// The index sidecar: each sealed segment seg-N.jsonl may carry a
+// seg-N.idx file mapping record IDs to byte offsets, so Open can index
+// the segment without replaying a single record line. The sidecar is a
+// pure optimization — the segment stays the source of truth:
+//
+//   - It is checksummed (CRC32 trailer over the whole body) and stamps
+//     the segment's byte size. A torn, hand-edited or bit-rotted
+//     sidecar, or one whose segment grew or shrank after it was
+//     written, fails validation and that one segment degrades to a
+//     full replay; recovery regenerates the sidecar afterwards.
+//   - It is written on seal (Store.Close), after compaction, and
+//     best-effort after every replay, always via write-to-temp +
+//     fsync + atomic rename, so a crash mid-write can never publish a
+//     half sidecar.
+//   - Entries carry the record's physics version, so one sidecar
+//     serves Opens under any version (foreign entries count as stale
+//     without being read), and a canonical content hash, so duplicate
+//     IDs across segments can be classified as benign duplicates or
+//     conflicts without loading either record.
+//
+// Format (plain text, one record per line):
+//
+//	cloversim-store-idx v1 size=<segment bytes> entries=<count>
+//	<id> <offset> <length> <hash:16-hex> <physics>
+//	...
+//	crc32 <8-hex checksum of everything above>
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"strings"
+)
+
+const sidecarMagic = "cloversim-store-idx v1"
+
+// maxSidecarBytes bounds how much of a sidecar file recovery will
+// read: a sidecar larger than this is treated as invalid (replay wins)
+// rather than ballooning memory.
+const maxSidecarBytes = 1 << 28
+
+// sidecarEntry locates one record line inside its segment.
+type sidecarEntry struct {
+	physics string
+	id      string
+	off     int64  // byte offset of the line within the segment
+	n       int64  // line length, terminating newline excluded
+	hash    uint64 // canonical content hash (see canonicalHash)
+}
+
+// sidecarPath names the sidecar of a segment file.
+func sidecarPath(segPath string) string {
+	return strings.TrimSuffix(segPath, ".jsonl") + ".idx"
+}
+
+// writeSidecar publishes the index sidecar for one sealed segment
+// atomically (temp + fsync + rename). size is the segment's byte size
+// at seal time — the staleness guard readSidecar checks.
+func writeSidecar(segPath string, size int64, entries []sidecarEntry) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s size=%d entries=%d\n", sidecarMagic, size, len(entries))
+	for _, e := range entries {
+		// Physics rides last so it may contain spaces; IDs are config
+		// hashes and never do.
+		fmt.Fprintf(&buf, "%s %d %d %016x %s\n", e.id, e.off, e.n, e.hash, e.physics)
+	}
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	fmt.Fprintf(&buf, "crc32 %08x\n", sum)
+
+	path := sidecarPath(segPath)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: sidecar: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: sidecar: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: sidecar: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: sidecar: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: sidecar: %w", err)
+	}
+	return nil
+}
+
+// readSidecar loads and validates a segment's sidecar. ok=false — for
+// any reason: missing file, bad magic, failed checksum, implausible
+// entries, or a segment whose current size differs from the stamped
+// one — means the caller must replay the segment instead. It never
+// panics on arbitrary sidecar bytes.
+func readSidecar(segPath string) ([]sidecarEntry, bool) {
+	info, err := os.Stat(segPath)
+	if err != nil {
+		return nil, false
+	}
+	if fi, err := os.Stat(sidecarPath(segPath)); err != nil || fi.Size() > maxSidecarBytes {
+		return nil, false
+	}
+	data, err := os.ReadFile(sidecarPath(segPath))
+	if err != nil || len(data) == 0 || int64(len(data)) > maxSidecarBytes || data[len(data)-1] != '\n' {
+		return nil, false
+	}
+
+	// Trailer: last line must be "crc32 <hex>" checksumming all bytes
+	// before it.
+	cut := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+	sumHex, ok := strings.CutPrefix(string(data[cut:len(data)-1]), "crc32 ")
+	if !ok {
+		return nil, false
+	}
+	want, err := strconv.ParseUint(sumHex, 16, 32)
+	if err != nil || crc32.ChecksumIEEE(data[:cut]) != uint32(want) {
+		return nil, false
+	}
+
+	// Header: magic, stamped segment size, entry count.
+	body := data[:cut]
+	nl := bytes.IndexByte(body, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	var size int64
+	var count int
+	if _, err := fmt.Sscanf(string(body[:nl]), sidecarMagic+" size=%d entries=%d", &size, &count); err != nil {
+		return nil, false
+	}
+	if size != info.Size() {
+		return nil, false // segment grew or shrank after the sidecar was written
+	}
+	body = body[nl+1:]
+	// The checksum guards against corruption, not internal consistency:
+	// bound the allocation by what the body could plausibly hold.
+	if count < 0 || int64(count) > int64(len(body))/8+1 {
+		return nil, false
+	}
+
+	entries := make([]sidecarEntry, 0, count)
+	for len(body) > 0 {
+		nl := bytes.IndexByte(body, '\n')
+		if nl < 0 {
+			return nil, false
+		}
+		parts := strings.SplitN(string(body[:nl]), " ", 5)
+		body = body[nl+1:]
+		if len(parts) != 5 || parts[0] == "" {
+			return nil, false
+		}
+		off, err1 := strconv.ParseInt(parts[1], 10, 64)
+		n, err2 := strconv.ParseInt(parts[2], 10, 64)
+		hash, err3 := strconv.ParseUint(parts[3], 16, 64)
+		if err1 != nil || err2 != nil || err3 != nil ||
+			off < 0 || n <= 0 || n > maxLineBytes || off+n > size {
+			return nil, false
+		}
+		entries = append(entries, sidecarEntry{
+			physics: parts[4], id: parts[0], off: off, n: n, hash: hash,
+		})
+	}
+	if len(entries) != count {
+		return nil, false
+	}
+	return entries, true
+}

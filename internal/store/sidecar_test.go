@@ -1,0 +1,320 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sealStore writes n records and closes the store so its segment gets
+// a sidecar, returning the scenarios written.
+func sealStore(t *testing.T, dir, physics string, n int) []Record {
+	t.Helper()
+	s, err := Open(dir, physics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for i := 0; i < n; i++ {
+		sc := scenario("icx", "jacobi", uint64(i+1))
+		m := metrics(float64(i), math.NaN(), 0.1+float64(i))
+		if err := s.Put(sc, m); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, Record{ID: sc.ID(), Scenario: sc, Metrics: m})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// onlySidecar returns the single .idx path in dir.
+func onlySidecar(t *testing.T, dir string) string {
+	t.Helper()
+	idx, err := filepath.Glob(filepath.Join(dir, "seg-*.idx"))
+	if err != nil || len(idx) != 1 {
+		t.Fatalf("want exactly one sidecar, got %v (%v)", idx, err)
+	}
+	return idx[0]
+}
+
+func TestSidecarRecoveryBitExact(t *testing.T) {
+	dir := t.TempDir()
+	recs := sealStore(t, dir, "p1", 10)
+	onlySidecar(t, dir) // Close must have sealed the segment with one
+
+	s := mustOpen(t, dir, "p1")
+	st := s.Stats()
+	if st.Sidecars != 1 || st.Segments != 1 || st.Records != len(recs) {
+		t.Fatalf("stats = %s (sidecars=%d), want sidecar recovery of %d records", st, st.Sidecars, len(recs))
+	}
+	for _, want := range recs {
+		got, ok := s.Lookup(want.ID)
+		if !ok {
+			t.Fatalf("record %s lost behind sidecar", want.ID)
+		}
+		if got.Scenario != want.Scenario {
+			t.Fatalf("scenario changed through sidecar recovery: %+v vs %+v", got.Scenario, want.Scenario)
+		}
+		equalBits(t, got.Metrics, want.Metrics)
+	}
+}
+
+// TestSidecarOpenReadsNoRecordBytes proves the O(segments) claim: after
+// sealing, the segment's record bytes are overwritten with same-size
+// garbage; Open still recovers via the (still size-valid) sidecar, so
+// it cannot have replayed a single line.
+func TestSidecarOpenReadsNoRecordBytes(t *testing.T) {
+	dir := t.TempDir()
+	recs := sealStore(t, dir, "p1", 3)
+	seg := filepath.Join(strings.TrimSuffix(onlySidecar(t, dir), ".idx") + ".jsonl")
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := bytes.Repeat([]byte("x"), int(info.Size()))
+	if err := os.WriteFile(seg, garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, dir, "p1")
+	if st := s.Stats(); st.Sidecars != 1 || st.Records != len(recs) {
+		t.Fatalf("stats = %s, want untouched sidecar recovery", st)
+	}
+	// First access discovers the rot, drops the entry, and the store
+	// self-heals: the scenario reads as never-simulated and a fresh Put
+	// rewrites it.
+	sc := recs[0].Scenario
+	if _, ok := s.Get(sc); ok {
+		t.Fatal("Get served a record whose bytes were destroyed")
+	}
+	if st := s.Stats(); st.Corrupt == 0 || st.Records != len(recs)-1 {
+		t.Fatalf("stats = %s, want the rotted record dropped and counted", st)
+	}
+	if err := s.Put(sc, recs[0].Metrics); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(sc)
+	if !ok {
+		t.Fatal("re-Put after self-heal did not serve")
+	}
+	equalBits(t, got, recs[0].Metrics)
+}
+
+func TestSidecarCorruptionFallsBackToReplay(t *testing.T) {
+	dir := t.TempDir()
+	recs := sealStore(t, dir, "p1", 5)
+	idx := onlySidecar(t, dir)
+	orig, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"bitflip":     append(append([]byte{}, orig[:len(orig)/2]...), append([]byte{orig[len(orig)/2] ^ 0x40}, orig[len(orig)/2+1:]...)...),
+		"torn":        orig[:len(orig)-7],
+		"empty":       {},
+		"garbage":     []byte("not a sidecar at all\n"),
+		"bad-magic":   bytes.Replace(orig, []byte("v1"), []byte("v9"), 1),
+		"no-trailer":  orig[:bytes.LastIndex(orig[:len(orig)-1], []byte("\n"))+1],
+		"wrong-size":  bytes.Replace(orig, []byte("size="), []byte("size=9"), 1),
+		"neg-offsets": bytes.Replace(orig, []byte(" 0 "), []byte(" -1 "), 1),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(idx, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s := mustOpen(t, dir, "p1")
+			st := s.Stats()
+			if st.Sidecars != 0 {
+				t.Fatalf("damaged sidecar (%s) was accepted: %s", name, st)
+			}
+			if st.Records != len(recs) {
+				t.Fatalf("replay fallback lost records: %s, want %d", st, len(recs))
+			}
+			for _, want := range recs {
+				got, ok := s.Lookup(want.ID)
+				if !ok {
+					t.Fatalf("record %s lost", want.ID)
+				}
+				equalBits(t, got.Metrics, want.Metrics)
+			}
+			s.Close()
+			// The replay must have regenerated a valid sidecar: the next
+			// open goes back to the fast path.
+			s2 := mustOpen(t, dir, "p1")
+			if st := s2.Stats(); st.Sidecars != 1 {
+				t.Fatalf("replay did not regenerate the sidecar: %s", st)
+			}
+		})
+	}
+}
+
+// TestSidecarSizeGuard: bytes appended to a sealed segment (another
+// writer, a partial copy) invalidate its sidecar via the stamped-size
+// check, so the new record is not invisible.
+func TestSidecarSizeGuard(t *testing.T) {
+	dir := t.TempDir()
+	recs := sealStore(t, dir, "p1", 2)
+	seg := strings.TrimSuffix(onlySidecar(t, dir), ".idx") + ".jsonl"
+
+	extra := scenario("spr", "stream", 99)
+	line, err := EncodeRecord("p1", extra, metrics(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(line); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s := mustOpen(t, dir, "p1")
+	st := s.Stats()
+	if st.Sidecars != 0 {
+		t.Fatalf("stale sidecar accepted for a grown segment: %s", st)
+	}
+	if st.Records != len(recs)+1 {
+		t.Fatalf("stats = %s, want %d records", st, len(recs)+1)
+	}
+	if _, ok := s.Get(extra); !ok {
+		t.Fatal("appended record invisible behind stale sidecar")
+	}
+}
+
+// TestSidecarServesForeignPhysics: one sidecar carries entries for every
+// physics version present in the segment, so an Open under the OTHER
+// version also skips the replay.
+func TestSidecarServesForeignPhysics(t *testing.T) {
+	dir := t.TempDir()
+	seg := filepath.Join(dir, "seg-000001.jsonl")
+	scA, scB := scenario("icx", "jacobi", 1), scenario("icx", "stream", 2)
+	lineA, err := EncodeRecord("p1", scA, metrics(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineB, err := EncodeRecord("p2", scB, metrics(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, append(lineA, lineB...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// First open (p1) replays the mixed segment and regenerates the
+	// sidecar, which must describe the p2 line too.
+	s1 := mustOpen(t, dir, "p1")
+	if st := s1.Stats(); st.Sidecars != 0 || st.Records != 1 || st.Stale != 1 {
+		t.Fatalf("p1 stats = %s, want 1 record 1 stale via replay", st)
+	}
+	s1.Close()
+
+	s2 := mustOpen(t, dir, "p2")
+	if st := s2.Stats(); st.Sidecars != 1 || st.Records != 1 || st.Stale != 1 {
+		t.Fatalf("p2 stats = %s, want sidecar recovery of the p2 record", st)
+	}
+	got, ok := s2.Get(scB)
+	if !ok {
+		t.Fatal("p2 record invisible through the sidecar")
+	}
+	equalBits(t, got, metrics(2))
+}
+
+// TestSidecarDuplicateClassification: duplicate IDs across a
+// sidecar-recovered segment and a replayed one classify as duplicate or
+// conflict from hashes alone, without loading the sealed record.
+func TestSidecarDuplicateClassification(t *testing.T) {
+	dir := t.TempDir()
+	recs := sealStore(t, dir, "p1", 1)
+	sc := recs[0].Scenario
+
+	// A second segment re-records the same scenario twice: once with
+	// identical bits (benign) and once with different bits (conflict).
+	same, err := EncodeRecord("p1", sc, recs[0].Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := EncodeRecord("p1", sc, metrics(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "seg-000002.jsonl"), append(same, diff...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, dir, "p1")
+	st := s.Stats()
+	if st.Sidecars != 1 || st.Duplicates != 1 || st.Conflicts != 1 || st.Records != 1 {
+		t.Fatalf("stats = %s (sidecars=%d), want 1 dup + 1 conflict against the sidecar entry", st, st.Sidecars)
+	}
+	got, _ := s.Get(sc)
+	equalBits(t, got, recs[0].Metrics) // sealed (first) record still wins
+}
+
+// FuzzSidecarRecovery throws arbitrary sidecar bytes at Open over a
+// real, valid segment: recovery must never panic, never error, and
+// every record it serves must be genuine (bit-exact against what the
+// segment holds) no matter what the sidecar claims.
+func FuzzSidecarRecovery(f *testing.F) {
+	// Build one real segment + sidecar to harvest seeds from.
+	seedDir := f.TempDir()
+	s, err := Open(seedDir, "p1")
+	if err != nil {
+		f.Fatal(err)
+	}
+	sc := scenario("icx", "jacobi", 1)
+	wantMetrics := metrics(1.5, math.Inf(-1))
+	if err := s.Put(sc, wantMetrics); err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		f.Fatal(err)
+	}
+	segBytes, err := os.ReadFile(filepath.Join(seedDir, "seg-000001.jsonl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	realIdx, err := os.ReadFile(filepath.Join(seedDir, "seg-000001.idx"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(realIdx)
+	f.Add([]byte{})
+	f.Add([]byte(sidecarMagic + " size=0 entries=0\ncrc32 00000000\n"))
+	f.Add(bytes.Repeat([]byte("A"), 512))
+	f.Add([]byte(fmt.Sprintf("%s size=%d entries=1\n%s 0 10 0000000000000000 p1\ncrc32 deadbeef\n", sidecarMagic, len(segBytes), sc.ID())))
+
+	f.Fuzz(func(t *testing.T, idx []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "seg-000001.jsonl"), segBytes, 0o644); err != nil {
+			t.Skip()
+		}
+		if err := os.WriteFile(filepath.Join(dir, "seg-000001.idx"), idx, 0o644); err != nil {
+			t.Skip()
+		}
+		st, err := Open(dir, "p1")
+		if err != nil {
+			t.Fatalf("Open errored on fuzzed sidecar: %v", err)
+		}
+		defer st.Close()
+		// Whatever path recovery took, served records must be genuine.
+		for _, rec := range st.Records() {
+			if rec.ID != sc.ID() {
+				t.Fatalf("sidecar conjured record %s not present in segment", rec.ID)
+			}
+			equalBits(t, rec.Metrics, wantMetrics)
+		}
+		if st.Len() != st.Stats().Records {
+			t.Fatalf("Len %d disagrees with Stats.Records %d", st.Len(), st.Stats().Records)
+		}
+	})
+}

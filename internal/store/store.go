@@ -20,18 +20,33 @@
 //   - Corruption-tolerant recovery. Open scans every segment and
 //     tolerates torn tails, garbage lines, duplicate records and
 //     records whose key no longer hashes to their claimed ID; damage
-//     is counted in Stats, never fatal, and never a panic.
+//     is counted in Stats, never fatal, and never a panic. A duplicate
+//     whose metric bits differ from the indexed record is a Conflict —
+//     counted and reported separately, first record still wins.
+//   - Indexed segments. Each sealed segment carries a checksummed
+//     index sidecar (seg-N.idx, see sidecar.go) mapping record IDs to
+//     byte offsets, so Open is O(segments) — records load lazily from
+//     their offsets on first access — and a missing or damaged sidecar
+//     degrades to a full replay of that one segment, never an error.
+//   - Compaction. Compact (compact.go) merges every segment into one
+//     deduplicated segment with a crash-safe publish protocol,
+//     dropping stale-physics and corrupt lines.
 //   - Version hygiene. Records from other physics versions are
 //     retained on disk but never served, so bumping the version
 //     invalidates every stale result at once without deleting data.
+//     (Compact, an explicit admin operation, is the one exception: it
+//     prunes foreign-physics records.)
 package store
 
 import (
 	"bufio"
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"io/fs"
 	"math"
@@ -41,20 +56,26 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"cloversim/internal/sweep"
 )
 
-// segPattern matches segment files. Segments are scanned in lexical
-// order on Open; each process appends to a fresh, exclusively created
-// segment so two processes sharing a store directory never interleave
-// writes within one file.
+// segPattern matches segment files. Segments are scanned in numeric
+// order on Open (seg-2 before seg-10, regardless of zero padding);
+// each process appends to a fresh, exclusively created segment so two
+// processes sharing a store directory never interleave writes within
+// one file.
 const segPattern = "seg-*.jsonl"
 
 // maxLineBytes bounds one record line during recovery, so a corrupt
 // segment full of unbroken garbage cannot balloon memory. Real records
 // are a few hundred bytes.
 const maxLineBytes = 1 << 20
+
+// maxConflictIDs caps how many conflicting record IDs Stats retains
+// for reporting; the count keeps incrementing past the cap.
+const maxConflictIDs = 8
 
 // Record is one stored campaign result: the scenario that produced it
 // (rebuilt from its canonical key string) and its bit-exact metrics.
@@ -64,40 +85,81 @@ type Record struct {
 	Metrics  sweep.Metrics
 }
 
-// Stats summarizes what Open found while recovering a store directory.
+// Stats summarizes what Open found while recovering a store directory
+// plus damage discovered later (a lazily loaded record that no longer
+// decodes counts as corrupt at that point).
 type Stats struct {
 	Segments   int // segment files scanned
+	Sidecars   int // segments recovered via a valid index sidecar (no replay)
 	Records    int // live records indexed (current physics version)
 	Stale      int // well-formed records under other physics versions
 	Corrupt    int // undecodable or integrity-failed lines skipped
-	Duplicates int // re-encounters of an already-indexed ID
+	Duplicates int // benign re-encounters of an already-indexed ID (same bits)
+	Conflicts  int // re-encounters whose metric bits DIFFER from the indexed record
+
+	// ConflictIDs names the first few conflicting record IDs (capped at
+	// maxConflictIDs) so operators can find the offending lines; the
+	// Conflicts count is not capped.
+	ConflictIDs []string
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d records in %d segments (%d stale, %d corrupt, %d duplicate)",
+	msg := fmt.Sprintf("%d records in %d segments (%d stale, %d corrupt, %d duplicate)",
 		s.Records, s.Segments, s.Stale, s.Corrupt, s.Duplicates)
+	if s.Conflicts > 0 {
+		msg += fmt.Sprintf(", %d CONFLICTING duplicates %v", s.Conflicts, s.ConflictIDs)
+	}
+	return msg
+}
+
+// indexEntry is one indexed record. Entries recovered from a sidecar
+// start unloaded — only the segment location and canonical hash are
+// known — and materialize into rec on first access. Entries from a
+// full replay or a Put are born loaded.
+type indexEntry struct {
+	seq    uint64 // monotone per-store-instance sequence (sync watermarks)
+	hash   uint64 // canonical line hash (duplicate-vs-conflict detection)
+	loaded bool
+	rec    Record // valid when loaded
+
+	// Lazy location, valid when !loaded:
+	seg string // segment path
+	off int64  // byte offset of the record's line
+	n   int64  // line length in bytes, newline excluded
 }
 
 // Store is a disk-backed result store. It is safe for concurrent use;
 // reads are served from an in-memory index populated at Open and kept
-// in sync by Put. Store implements sweep.Cache, so it plugs into the
-// engine as the persistent tier directly.
+// in sync by Put. Records behind a sidecar-recovered segment load
+// lazily on first access. Store implements sweep.Cache, so it plugs
+// into the engine as the persistent tier directly.
 type Store struct {
 	dir     string
 	physics string
 
-	mu     sync.RWMutex
-	index  map[string]Record // scenario ID -> record (current physics only)
-	active *os.File          // lazily created on first Put
-	closed bool              // Close was called; Put must not resurrect a segment
-	dirty  bool              // appended since the last successful fsync
-	torn   bool              // last append failed; tail may hold a partial line
-	stats  Stats
+	mu      sync.RWMutex
+	index   map[string]*indexEntry // scenario ID -> entry (current physics only)
+	active  *os.File               // lazily created on first Put
+	closed  bool                   // Close was called; Put must not resurrect a segment
+	dirty   bool                   // appended since the last successful fsync
+	torn    bool                   // last append failed; tail may hold a partial line
+	stats   Stats
+	nextSeq uint64 // next sequence number to assign
+	epoch   string // sync-watermark namespace; fresh per Open and per Compact
+
+	// Active-segment bookkeeping for the seal-time sidecar.
+	activePath    string
+	activeOff     int64          // bytes appended so far
+	activeEntries []sidecarEntry // one per record appended, in order
+	activeIndexOK bool           // offsets trusted (no torn write since creation)
 }
 
 // Open recovers the store in dir for the given physics version,
-// creating the directory if needed. Damaged segments degrade to Stats
-// counts; only unreadable directories and I/O errors fail.
+// creating the directory if needed. Segments with a valid index
+// sidecar recover in O(1) record work (records load lazily); the rest
+// replay line by line, and their sidecars are regenerated best-effort.
+// Damaged segments degrade to Stats counts; only unreadable
+// directories and I/O errors fail.
 func Open(dir, physics string) (*Store, error) {
 	if physics == "" {
 		return nil, fmt.Errorf("store: empty physics version")
@@ -105,59 +167,132 @@ func Open(dir, physics string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, physics: physics, index: map[string]Record{}}
-	segs, err := s.segments()
-	if err != nil {
+	s := &Store{dir: dir, physics: physics, index: map[string]*indexEntry{}, epoch: newEpoch()}
+	if err := s.recoverAllLocked(); err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// newEpoch mints the store instance's sync-watermark namespace: sync
+// sequence numbers are only comparable within one epoch, so every Open
+// (and every Compact, which renumbers) gets a fresh one.
+func newEpoch() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// recoverAllLocked (re)builds the in-memory index from the segment
+// files. Callers hold the write lock or exclusive ownership (Open).
+func (s *Store) recoverAllLocked() error {
+	segs, err := s.segments()
+	if err != nil {
+		return err
+	}
 	for _, seg := range segs {
-		if err := s.recoverSegment(seg); err != nil {
-			return nil, err
+		if s.recoverFromSidecar(seg) {
+			s.stats.Sidecars++
+			continue
+		}
+		if err := s.replaySegment(seg); err != nil {
+			return err
 		}
 	}
 	s.stats.Segments = len(segs)
 	s.stats.Records = len(s.index)
-	return s, nil
+	return nil
 }
 
-// segments lists the store's segment files in lexical (creation)
-// order.
+// segments lists the store's segment files in recovery order: numeric
+// segment number ascending (seg-999999 before seg-1000000, which a
+// lexical sort would invert past the zero-padding width), with
+// non-numeric names — foreign files matching the glob — after all
+// numeric ones, in lexical order among themselves.
 func (s *Store) segments() ([]string, error) {
 	segs, err := filepath.Glob(filepath.Join(s.dir, segPattern))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	sort.Strings(segs)
+	sort.Slice(segs, func(i, j int) bool {
+		ni, oki := segNumber(segs[i])
+		nj, okj := segNumber(segs[j])
+		switch {
+		case oki && okj && ni != nj:
+			return ni < nj
+		case oki != okj:
+			return oki // numeric before non-numeric
+		default:
+			return segs[i] < segs[j]
+		}
+	})
 	return segs, nil
 }
 
-// recoverSegment indexes one segment, first record per ID wins.
-// Undecodable lines — torn tails, hand edits, bit rot — are counted
-// and skipped.
-func (s *Store) recoverSegment(path string) error {
+// segNumber parses a segment file's number. Zero padding is
+// insignificant: seg-000007 and seg-7 are the same segment number.
+func segNumber(path string) (int64, bool) {
+	base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "seg-"), ".jsonl")
+	if base == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(base, 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// replaySegment indexes one segment line by line, first record per ID
+// wins. Undecodable lines — torn tails, hand edits, bit rot — are
+// counted and skipped. On success the segment's index sidecar is
+// regenerated best-effort, so the next Open recovers it lazily.
+func (s *Store) replaySegment(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
+	var entries []sidecarEntry
+	var off int64
 	r := bufio.NewReaderSize(f, 64<<10)
 	for {
-		line, err := readLine(r)
+		line, consumed, err := readLine(r)
+		// A truncated overlong line consumed more bytes than it returned;
+		// its sidecar entry would point at garbage, so only exact lines
+		// (terminator aside) are indexable.
+		exact := int64(len(line)) == consumed || int64(len(line)) == consumed-1
 		if len(line) > 0 {
 			switch rec, derr := DecodeRecord(line, s.physics); {
 			case derr == nil:
-				if _, dup := s.index[rec.ID]; dup {
-					s.stats.Duplicates++
-				} else {
-					s.index[rec.ID] = rec
+				h := canonicalHash(s.physics, rec)
+				if exact {
+					entries = append(entries, sidecarEntry{physics: s.physics, id: rec.ID, off: off, n: int64(len(line)), hash: h})
 				}
+				s.admitLocked(rec, h)
 			case isStale(derr):
 				s.stats.Stale++
+				// Index the foreign record in the sidecar too, so a later
+				// Open under ITS physics version can still skip the replay.
+				// A line that does not validate under its own claimed
+				// version is left out (it would be corrupt there anyway).
+				if got := stalePhysics(derr); exact && got != "" {
+					if frec, ferr := DecodeRecord(line, got); ferr == nil {
+						entries = append(entries, sidecarEntry{physics: got, id: frec.ID, off: off, n: int64(len(line)), hash: canonicalHash(got, frec)})
+					}
+				}
 			default:
 				s.stats.Corrupt++
 			}
 		}
+		off += consumed
 		if err == io.EOF {
+			// Best-effort regeneration: a read-only directory or a full
+			// disk must not fail recovery — the sidecar is an
+			// optimization, the segment stays the source of truth.
+			writeSidecar(path, off, entries) //nolint:errcheck
 			return nil
 		}
 		if err != nil {
@@ -166,16 +301,86 @@ func (s *Store) recoverSegment(path string) error {
 	}
 }
 
+// recoverFromSidecar indexes one segment from its sidecar without
+// reading any record bytes. It reports false — caller replays — when
+// the sidecar is missing, fails its checksum, or describes a different
+// segment size than the file on disk (the segment grew or was
+// truncated after the sidecar was written).
+func (s *Store) recoverFromSidecar(path string) bool {
+	entries, ok := readSidecar(path)
+	if !ok {
+		return false
+	}
+	for _, e := range entries {
+		if e.physics != s.physics {
+			s.stats.Stale++
+			continue
+		}
+		if _, dup := s.index[e.id]; dup {
+			s.noteDuplicateLocked(e.id, e.hash)
+			continue
+		}
+		s.nextSeq++
+		s.index[e.id] = &indexEntry{
+			seq: s.nextSeq, hash: e.hash,
+			seg: path, off: e.off, n: e.n,
+		}
+	}
+	return true
+}
+
+// admitLocked indexes one decoded live record, first-wins.
+func (s *Store) admitLocked(rec Record, hash uint64) {
+	if _, dup := s.index[rec.ID]; dup {
+		s.noteDuplicateLocked(rec.ID, hash)
+		return
+	}
+	s.nextSeq++
+	s.index[rec.ID] = &indexEntry{seq: s.nextSeq, hash: hash, loaded: true, rec: rec}
+}
+
+// noteDuplicateLocked classifies a re-encountered ID: identical
+// canonical bytes are a benign duplicate (concurrent writers
+// converging); different bytes mean two simulations of one scenario
+// disagreed — a conflict that dedup must not launder silently. Either
+// way the first indexed record wins, deterministically.
+func (s *Store) noteDuplicateLocked(id string, hash uint64) {
+	if e := s.index[id]; e.hash == hash {
+		s.stats.Duplicates++
+		return
+	}
+	s.stats.Conflicts++
+	if len(s.stats.ConflictIDs) < maxConflictIDs {
+		s.stats.ConflictIDs = append(s.stats.ConflictIDs, id)
+	}
+}
+
+// canonicalHash fingerprints a record's canonical encoded line, so
+// equality of hashes means equality of scenario and exact metric bits
+// regardless of cosmetic differences in the on-disk JSON.
+func canonicalHash(physics string, rec Record) uint64 {
+	line, err := EncodeRecord(physics, rec.Scenario, rec.Metrics)
+	if err != nil {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write(bytes.TrimSuffix(line, []byte("\n")))
+	return h.Sum64()
+}
+
 // readLine reads one newline-terminated line, returning it without the
-// terminator. Memory is bounded: a line longer than maxLineBytes has
-// its tail consumed but discarded, and the truncated prefix is
-// returned (it fails decoding and counts as corrupt, rather than
-// ballooning recovery memory or aborting it). io.EOF accompanies the
-// final, unterminated line.
-func readLine(r *bufio.Reader) ([]byte, error) {
+// terminator plus the total bytes consumed (terminator included).
+// Memory is bounded: a line longer than maxLineBytes has its tail
+// consumed but discarded, and the truncated prefix is returned (it
+// fails decoding and counts as corrupt, rather than ballooning
+// recovery memory or aborting it). io.EOF accompanies the final,
+// unterminated line.
+func readLine(r *bufio.Reader) ([]byte, int64, error) {
 	var line []byte
+	var consumed int64
 	for {
 		frag, err := r.ReadSlice('\n')
+		consumed += int64(len(frag))
 		if len(line) < maxLineBytes {
 			line = append(line, frag...)
 			if len(line) > maxLineBytes {
@@ -187,11 +392,11 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 			if n := len(line); n > 0 && line[n-1] == '\n' {
 				line = line[:n-1]
 			}
-			return line, nil
+			return line, consumed, nil
 		case bufio.ErrBufferFull:
 			continue
 		default:
-			return line, err
+			return line, consumed, err
 		}
 	}
 }
@@ -199,6 +404,14 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 // isStale reports whether a decode error means "fine record, other
 // physics version" rather than corruption.
 func isStale(err error) bool { _, ok := err.(*staleError); return ok }
+
+// stalePhysics extracts the physics version a stale decode error names.
+func stalePhysics(err error) string {
+	if se, ok := err.(*staleError); ok {
+		return se.got
+	}
+	return ""
+}
 
 type staleError struct{ got string }
 
@@ -292,21 +505,109 @@ func DecodeRecord(line []byte, physics string) (Record, error) {
 // (under this physics version) has never seen it. The returned metrics
 // are shared with the index: treat them as read-only.
 func (s *Store) Get(sc sweep.Scenario) (sweep.Metrics, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, ok := s.index[sc.ID()]
+	rec, ok := s.Lookup(sc.ID())
 	if !ok {
 		return nil, false
 	}
 	return rec.Metrics, true
 }
 
-// Lookup serves a stored record by its config hash.
+// Lookup serves a stored record by its config hash, reading it from
+// its segment offset on first access when the segment was recovered
+// via sidecar. A record whose bytes no longer decode — the sidecar
+// outlived the data — is dropped from the index and counted corrupt,
+// so the caller (and the engine above it) treats the scenario as never
+// simulated and a fresh Put can heal the store.
 func (s *Store) Lookup(id string) (Record, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, ok := s.index[id]
-	return rec, ok
+	e, ok := s.index[id]
+	if !ok {
+		s.mu.RUnlock()
+		return Record{}, false
+	}
+	if e.loaded {
+		rec := e.rec
+		s.mu.RUnlock()
+		return rec, true
+	}
+	seg, off, n := e.seg, e.off, e.n
+	s.mu.RUnlock()
+
+	rec, err := s.loadAt(seg, off, n, id)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok = s.index[id]
+	if !ok {
+		// Compact or a concurrent failed load rebuilt the index under us.
+		return Record{}, false
+	}
+	if e.loaded {
+		return e.rec, true
+	}
+	if err != nil {
+		delete(s.index, id)
+		s.stats.Corrupt++
+		s.stats.Records = len(s.index)
+		return Record{}, false
+	}
+	e.rec = rec
+	e.loaded = true
+	return rec, true
+}
+
+// loadAt reads and verifies one record line at a sidecar-indexed
+// offset. The decode enforces the full integrity contract, and the ID
+// must be the one the index sent us here for.
+func (s *Store) loadAt(seg string, off, n int64, id string) (Record, error) {
+	if n <= 0 || n > maxLineBytes {
+		return Record{}, fmt.Errorf("store: implausible record length %d", n)
+	}
+	f, err := os.Open(seg)
+	if err != nil {
+		return Record{}, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, n), buf); err != nil {
+		return Record{}, fmt.Errorf("store: reading %s@%d: %w", seg, off, err)
+	}
+	rec, err := DecodeRecord(buf, s.physics)
+	if err != nil {
+		return Record{}, err
+	}
+	if rec.ID != id {
+		return Record{}, fmt.Errorf("store: offset %s@%d holds record %s, index expected %s", seg, off, rec.ID, id)
+	}
+	return rec, nil
+}
+
+// loadAllLocked materializes every lazy entry, reading each segment's
+// pending records in offset order. Entries that fail to load are
+// dropped and counted corrupt, mirroring Lookup.
+func (s *Store) loadAllLocked() {
+	bySeg := map[string][]*indexEntry{}
+	ids := map[*indexEntry]string{}
+	for id, e := range s.index {
+		if !e.loaded {
+			bySeg[e.seg] = append(bySeg[e.seg], e)
+			ids[e] = id
+		}
+	}
+	for seg, entries := range bySeg {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].off < entries[j].off })
+		for _, e := range entries {
+			rec, err := s.loadAt(seg, e.off, e.n, ids[e])
+			if err != nil {
+				delete(s.index, ids[e])
+				s.stats.Corrupt++
+				continue
+			}
+			e.rec = rec
+			e.loaded = true
+		}
+	}
+	s.stats.Records = len(s.index)
 }
 
 // Put durably records one scenario result. Content addressing makes it
@@ -344,33 +645,53 @@ func (s *Store) Put(sc sweep.Scenario, m sweep.Metrics) error {
 	// corrupting BOTH on recovery. A leading newline terminates any
 	// such garbage (recovery skips it as corrupt, or as a blank line)
 	// so this record starts clean; it rides in the same single write.
+	payload := line
 	if s.torn {
-		line = append([]byte{'\n'}, line...)
+		payload = append([]byte{'\n'}, line...)
 	}
-	if _, err := s.active.Write(line); err != nil {
-		// Unknown how many bytes landed: poison the tail.
+	if _, err := s.active.Write(payload); err != nil {
+		// Unknown how many bytes landed: poison the tail, and give up on
+		// the seal-time sidecar for this segment — its offsets can no
+		// longer be trusted (the next Open replays and regenerates it).
 		s.torn = true
+		s.activeIndexOK = false
 		return fmt.Errorf("store: append %s: %w", rec.ID, err)
 	}
+	recOff := s.activeOff + int64(len(payload)-len(line))
+	s.activeOff += int64(len(payload))
 	s.torn = false
 	s.dirty = true
-	s.index[rec.ID] = rec
+	hash := lineHash(line)
+	if s.activeIndexOK {
+		s.activeEntries = append(s.activeEntries, sidecarEntry{
+			physics: s.physics, id: rec.ID, off: recOff, n: int64(len(line)) - 1, hash: hash,
+		})
+	}
+	s.nextSeq++
+	s.index[rec.ID] = &indexEntry{seq: s.nextSeq, hash: hash, loaded: true, rec: rec}
 	s.stats.Records = len(s.index)
 	return nil
 }
 
+// lineHash is canonicalHash for a line that is already the canonical
+// encoding (fresh from EncodeRecord, trailing newline included).
+func lineHash(line []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(bytes.TrimSuffix(line, []byte("\n")))
+	return h.Sum64()
+}
+
 // createSegmentLocked opens this process's own append segment,
-// numbered one past the highest existing segment. O_EXCL retries give
-// concurrent openers distinct files.
+// numbered one past the highest existing segment number. O_EXCL
+// retries give concurrent openers distinct files.
 func (s *Store) createSegmentLocked() error {
 	segs, err := s.segments()
 	if err != nil {
 		return err
 	}
-	next := 1
-	if len(segs) > 0 {
-		last := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(segs[len(segs)-1]), "seg-"), ".jsonl")
-		if n, err := strconv.Atoi(last); err == nil && n >= next {
+	next := int64(1)
+	for _, seg := range segs {
+		if n, ok := segNumber(seg); ok && n >= next {
 			next = n + 1
 		}
 	}
@@ -379,6 +700,10 @@ func (s *Store) createSegmentLocked() error {
 		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE|os.O_EXCL, 0o644)
 		if err == nil {
 			s.active = f
+			s.activePath = path
+			s.activeOff = 0
+			s.activeEntries = nil
+			s.activeIndexOK = true
 			s.stats.Segments++
 			return nil
 		}
@@ -400,7 +725,9 @@ func (s *Store) Len() int {
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.stats
+	st := s.stats
+	st.ConflictIDs = append([]string(nil), s.stats.ConflictIDs...)
+	return st
 }
 
 // Physics reports the version this store was opened under.
@@ -409,14 +736,52 @@ func (s *Store) Physics() string { return s.physics }
 // Dir reports the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Records lists the live records sorted by canonical key — a
-// deterministic order for listings and serving.
-func (s *Store) Records() []Record {
+// Epoch identifies this store instance for sync watermarks: sequence
+// numbers from IDsSince are only comparable while the epoch is
+// unchanged. Open and Compact both mint a fresh epoch (recovery order
+// — and with it every record's sequence number — may differ).
+func (s *Store) Epoch() string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// IDsSince lists the IDs of records admitted after the given sequence
+// watermark, in admission order, plus the current watermark (the
+// highest sequence assigned). A client that stores the returned
+// watermark and calls back with it sees exactly the records admitted
+// in between — within one Epoch.
+func (s *Store) IDsSince(since uint64) (ids []string, watermark uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type seqID struct {
+		seq uint64
+		id  string
+	}
+	var picked []seqID
+	for id, e := range s.index {
+		if e.seq > since {
+			picked = append(picked, seqID{e.seq, id})
+		}
+	}
+	sort.Slice(picked, func(i, j int) bool { return picked[i].seq < picked[j].seq })
+	ids = make([]string, len(picked))
+	for i, p := range picked {
+		ids[i] = p.id
+	}
+	return ids, s.nextSeq
+}
+
+// Records lists the live records sorted by canonical key — a
+// deterministic order for listings and serving. It materializes every
+// lazily indexed record.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loadAllLocked()
 	out := make([]Record, 0, len(s.index))
-	for _, rec := range s.index {
-		out = append(out, rec)
+	for _, e := range s.index {
+		out = append(out, e.rec)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		return out[i].Scenario.Key() < out[j].Scenario.Key()
@@ -442,13 +807,22 @@ func (s *Store) Sync() error {
 	return nil
 }
 
-// Close syncs and closes the active segment. Afterwards reads and
+// Close syncs and closes the active segment, sealing it with an index
+// sidecar so the next Open skips its replay. Afterwards reads and
 // Sync remain safe no-ops, but Put fails: a closed store accepts no
 // new records (see Put).
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
+	return s.sealActiveLocked()
+}
+
+// sealActiveLocked syncs, sidecars and closes the active segment (if
+// any). A failed sidecar write is not an error — the segment is the
+// source of truth and the next Open regenerates the sidecar — but a
+// failed sync or close is: those bytes may not be durable.
+func (s *Store) sealActiveLocked() error {
 	if s.active == nil {
 		return nil
 	}
@@ -458,6 +832,11 @@ func (s *Store) Close() error {
 		f.Close()
 		return fmt.Errorf("store: sync: %w", err)
 	}
+	s.dirty = false
+	if s.activeIndexOK {
+		writeSidecar(s.activePath, s.activeOff, s.activeEntries) //nolint:errcheck
+	}
+	s.activeEntries = nil
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: close: %w", err)
 	}

@@ -231,8 +231,9 @@ func TestDuplicateAcrossSegmentsFirstWins(t *testing.T) {
 	}
 	s.Close()
 	// A second writer (different process) records the same scenario
-	// with different bytes — first segment wins on recovery.
-	line, err := EncodeRecord("p1", sc, metrics(2))
+	// with IDENTICAL bytes — the benign convergence case: first segment
+	// wins on recovery and the re-encounter is a duplicate, no alarm.
+	line, err := EncodeRecord("p1", sc, metrics(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,11 +241,86 @@ func TestDuplicateAcrossSegmentsFirstWins(t *testing.T) {
 		t.Fatal(err)
 	}
 	s2 := mustOpen(t, dir, "p1")
-	if st := s2.Stats(); st.Duplicates != 1 || st.Records != 1 {
-		t.Fatalf("stats = %s, want 1 record 1 duplicate", st)
+	if st := s2.Stats(); st.Duplicates != 1 || st.Conflicts != 0 || st.Records != 1 {
+		t.Fatalf("stats = %s, want 1 record 1 duplicate 0 conflicts", st)
 	}
 	got, _ := s2.Get(sc)
 	equalBits(t, got, metrics(1))
+}
+
+// TestDuplicateWithDifferentBitsIsConflict is the regression for
+// recovery silently laundering a real disagreement as a benign
+// duplicate: the same scenario ID recorded with DIFFERENT metric bits
+// must surface as a Conflict naming the ID, while resolution stays
+// deterministic first-wins.
+func TestDuplicateWithDifferentBitsIsConflict(t *testing.T) {
+	dir := t.TempDir()
+	sc := scenario("icx", "jacobi", 1)
+	s := mustOpen(t, dir, "p1")
+	if err := s.Put(sc, metrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	line, err := EncodeRecord("p1", sc, metrics(2)) // same ID, different bits
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(data2path(dir), line, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, "p1")
+	st := s2.Stats()
+	if st.Conflicts != 1 || st.Duplicates != 0 || st.Records != 1 {
+		t.Fatalf("stats = %s, want 1 record 1 conflict 0 duplicates", st)
+	}
+	if len(st.ConflictIDs) != 1 || st.ConflictIDs[0] != sc.ID() {
+		t.Fatalf("ConflictIDs = %v, want [%s]", st.ConflictIDs, sc.ID())
+	}
+	if !strings.Contains(st.String(), "CONFLICTING") {
+		t.Fatalf("Stats.String() = %q does not surface the conflict", st)
+	}
+	got, _ := s2.Get(sc)
+	equalBits(t, got, metrics(1)) // first record wins, deterministically
+}
+
+// TestSegmentRolloverRecoveryOrder is the regression for the lexical
+// segment sort: seg-1000000 (unpadded overflow past the %06d width)
+// sorts lexically BEFORE seg-999999, so first-record-wins recovery
+// would resurrect the older record's rival. Numeric ordering must win.
+func TestSegmentRolloverRecoveryOrder(t *testing.T) {
+	dir := t.TempDir()
+	sc := scenario("icx", "jacobi", 1)
+	older, err := EncodeRecord("p1", sc, metrics(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newer, err := EncodeRecord("p1", sc, metrics(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// seg-999999 was written first (lower segment number), seg-1000000
+	// after rollover. Recovery must keep seg-999999's record.
+	if err := os.WriteFile(filepath.Join(dir, "seg-999999.jsonl"), older, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "seg-1000000.jsonl"), newer, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, "p1")
+	got, ok := s.Get(sc)
+	if !ok {
+		t.Fatal("record lost across rollover")
+	}
+	equalBits(t, got, metrics(1))
+	// And the next segment this process claims must be numbered past
+	// the true maximum, not past the lexical maximum.
+	if err := s.Put(scenario("icx", "stream", 2), metrics(3)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := os.Stat(filepath.Join(dir, "seg-1000001.jsonl")); err != nil {
+		t.Fatalf("expected seg-1000001.jsonl after rollover: %v", err)
+	}
 }
 
 func TestSeparateOpensUseSeparateSegments(t *testing.T) {
@@ -441,10 +517,13 @@ func TestPutAfterTornWriteDoesNotMergeLines(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Simulate a torn append: partial garbage lands, Put reports error.
+	// A real failed write also invalidates the seal-time sidecar (the
+	// landed byte count is unknown, so offsets cannot be trusted).
 	if _, err := s.active.Write([]byte(`{"id":"deadbeef","phys":"p1","key":"torn`)); err != nil {
 		t.Fatal(err)
 	}
 	s.torn = true
+	s.activeIndexOK = false
 	// The next Put must survive recovery intact.
 	if err := s.Put(scenario("icx", "jacobi", 21), metrics(2)); err != nil {
 		t.Fatal(err)

@@ -93,6 +93,7 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 		progress  = fs.Bool("progress", false, "live completion counter on stderr, updated as each scenario finishes (combines with -q for quiet-but-visible campaigns)")
 		stream    = fs.Bool("stream", false, "write campaign.csv and campaign.json incrementally as results complete, holding only out-of-order completions in memory; final bytes are identical to the buffered default")
 		analytic  = fs.String("analytic", "auto", "memsim analytic fast path: auto, off or force — all three simulate identical physics (golden-verified), so this never affects results or store keys")
+		compact   = fs.Bool("store-compact", false, "compact the -store directory (merge all segments into one, dropping stale and corrupt lines) and exit without running a campaign; requires exclusive ownership of the store")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -108,6 +109,16 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 	// config: the knob selects an implementation path, never physics,
 	// and must not perturb scenario hashes.
 	memsim.DefaultAnalytic = amode
+
+	if *compact {
+		// Maintenance mode: compact and exit. No campaign runs, so none
+		// of the grid flags apply; misuse without a store is a usage
+		// error, a failed compaction a runtime one.
+		if *storeDir == "" {
+			return usage(stderr, errors.New("-store-compact requires -store"))
+		}
+		return runCompact(stdout, stderr, *storeDir)
+	}
 
 	// -workers is overloaded: an integer sizes the local pool, anything
 	// else is a fleet of sweepd worker URLs for the remote backend.
@@ -357,6 +368,29 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 		code = ExitRuntime
 	}
 	return code
+}
+
+// runCompact is the -store-compact maintenance mode: open the store,
+// merge its segments, report, exit. The caller must own the store
+// directory exclusively — see store.Compact's protocol doc.
+func runCompact(stdout, stderr io.Writer, dir string) int {
+	st, err := store.Open(dir, cloversim.PhysicsVersion)
+	if err != nil {
+		return runtimeErr(stderr, err)
+	}
+	defer st.Close()
+	if stats := st.Stats(); stats.Corrupt > 0 || stats.Conflicts > 0 {
+		fmt.Fprintf(stderr, "sweep: store %s recovered with damage: %s\n", dir, stats)
+	}
+	cs, err := st.Compact()
+	if err != nil {
+		return runtimeErr(stderr, err)
+	}
+	if err := st.Close(); err != nil {
+		return runtimeErr(stderr, err)
+	}
+	fmt.Fprintf(stdout, "store %s: %s\n", dir, cs)
+	return ExitOK
 }
 
 func usage(stderr io.Writer, err error) int {

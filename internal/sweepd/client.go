@@ -1,6 +1,7 @@
 package sweepd
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -53,11 +54,13 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // maxHealthzBytes bounds a healthz body; maxExpandBytes bounds a
-// buffered expand body (and the total size of an expand stream):
-// maxCells results at a few KB each stay far below it, while an
-// endless body from a wedged worker must not balloon the dispatcher's
-// memory. A package var so tests can exercise the oversize path
-// without generating 64 MiB.
+// buffered expand body and each individual frame of an NDJSON stream
+// (a stream's total size is whatever its batch legitimately needs —
+// bounding the whole stream at this limit silently truncated large
+// batches): maxCells results at a few KB each stay far below it, while
+// an endless body from a wedged worker must not balloon the
+// dispatcher's memory. A package var so tests can exercise the
+// oversize path without generating 64 MiB.
 const maxHealthzBytes = int64(1 << 20)
 
 var maxExpandBytes = int64(64 << 20)
@@ -76,6 +79,34 @@ func (c *Client) readBody(body io.Reader, limit int64, what string) ([]byte, err
 		return nil, fmt.Errorf("sweepd client: %s: %s exceeds %d-byte limit; refusing to parse a truncated body", c.BaseURL, what, limit)
 	}
 	return b, nil
+}
+
+// readFrameLine reads one NDJSON frame line (terminator stripped) from
+// a stream, bounding the FRAME at limit bytes — the stream itself may
+// be arbitrarily long. The bound is enforced while accumulating, so an
+// endless unterminated line fails at limit+1 bytes held instead of
+// ballooning memory first. io.EOF accompanies a final unterminated
+// frame (possibly empty); the caller decides whether that is truncation.
+func readFrameLine(r *bufio.Reader, limit int64) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		line = append(line, frag...)
+		if n := len(line); n > 0 && line[n-1] == '\n' {
+			line = line[:n-1]
+		}
+		if int64(len(line)) > limit {
+			return nil, fmt.Errorf("frame exceeds %d-byte limit", limit)
+		}
+		switch err {
+		case nil:
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return line, err
+		}
+	}
 }
 
 // errorBody extracts the server's {"error": ...} message from a non-200
@@ -285,15 +316,25 @@ func (c *Client) ExecuteScenariosStream(ctx context.Context, scenarios []sweep.S
 	}
 	out := make([]ExecResult, len(scenarios))
 	delivered := 0
-	// The limit bounds the whole stream, matching the buffered mode's
-	// contract; held memory stays one frame regardless.
-	dec := json.NewDecoder(io.LimitReader(resp.Body, maxExpandBytes+1))
+	// The limit bounds each FRAME, not the stream: a stream is as long
+	// as the batch demands (held memory stays one frame), while any
+	// single oversized line still fails loudly instead of ballooning.
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
 	var sawHeader, sawSummary bool
 	for !sawSummary {
-		var f streamFrame
-		if err := dec.Decode(&f); err == io.EOF {
+		line, err := readFrameLine(br, maxExpandBytes)
+		if err == io.EOF && len(line) == 0 {
 			break
-		} else if err != nil {
+		}
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("sweepd client: %s: bad expand stream: %w", c.BaseURL, err)
+		}
+		atEOF := err == io.EOF
+		if len(line) == 0 {
+			continue // tolerate blank keepalive lines
+		}
+		var f streamFrame
+		if err := json.Unmarshal(line, &f); err != nil {
 			return nil, fmt.Errorf("sweepd client: %s: bad expand stream: %w", c.BaseURL, err)
 		}
 		switch {
@@ -331,6 +372,9 @@ func (c *Client) ExecuteScenariosStream(ctx context.Context, scenarios []sweep.S
 			sawSummary = true
 		default:
 			return nil, fmt.Errorf("sweepd client: %s: unrecognized expand stream frame", c.BaseURL)
+		}
+		if atEOF {
+			break
 		}
 	}
 	if !sawSummary {

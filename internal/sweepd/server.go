@@ -7,10 +7,12 @@
 //
 // API (all JSON):
 //
-//	GET  /v1/healthz        liveness, store occupancy, simulation capacity
-//	GET  /v1/scenarios      every stored record, deterministic key order
-//	GET  /v1/results/{id}   one record by scenario config hash
-//	POST /v1/expand         expand a grid: warm from store, simulate cold
+//	GET  /v1/healthz           liveness, store occupancy, simulation capacity
+//	GET  /v1/scenarios         every stored record, deterministic key order
+//	GET  /v1/results/{id}      one record by scenario config hash
+//	POST /v1/expand            expand a grid: warm from store, simulate cold
+//	GET  /v1/sync              stream records a peer is missing (replication)
+//	POST /v1/admin/compact     merge the store's segments into one
 //
 // An expand body is either a grid (axes by name, the cross product is
 // executed) or an explicit scenario list (canonical scenario keys, the
@@ -87,6 +89,12 @@ type ResultStore interface {
 	Stats() store.Stats
 	Physics() string
 	Sync() error
+	// Replication and maintenance surface (see sync.go): Epoch and
+	// IDsSince drive /v1/sync watermarks, Compact backs the admin
+	// compaction endpoint.
+	Epoch() string
+	IDsSince(since uint64) (ids []string, watermark uint64)
+	Compact() (store.CompactStats, error)
 }
 
 var _ ResultStore = (*store.Store)(nil)
@@ -176,6 +184,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
 	mux.HandleFunc("POST /v1/expand", s.handleExpand)
+	mux.HandleFunc("GET /v1/sync", s.handleSync)
+	mux.HandleFunc("POST /v1/admin/compact", s.handleCompact)
 	return mux
 }
 

@@ -241,6 +241,61 @@ func TestMaxCellsConfigurable(t *testing.T) {
 	}
 }
 
+// TestStreamTotalBeyondFrameCap is the regression for the stream-size
+// bound: maxExpandBytes used to cap the ENTIRE NDJSON stream, so a
+// legitimate batch whose frames TOGETHER passed the limit failed as a
+// bogus decode error even though each frame — the thing that actually
+// occupies client memory — was tiny. The bound is per frame now: many
+// small frames totaling far past the cap must stream through.
+func TestStreamTotalBeyondFrameCap(t *testing.T) {
+	old := maxExpandBytes
+	maxExpandBytes = 600 // one result frame is ~150 bytes; 20 total far more
+	t.Cleanup(func() { maxExpandBytes = old })
+
+	ts := httptest.NewServer(New(execStore(t), streamTestRunner, 2).Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+	c.Physics = execPhysics
+
+	scs := execScenarios(20)
+	out, err := c.ExecuteScenariosStream(context.Background(), scs, nil)
+	if err != nil {
+		t.Fatalf("stream with total size beyond the per-frame cap failed: %v", err)
+	}
+	if len(out) != len(scs) {
+		t.Fatalf("delivered %d of %d results", len(out), len(scs))
+	}
+	for i, r := range out {
+		if r.Err == nil && r.Metrics == nil {
+			t.Fatalf("result %d empty", i)
+		}
+	}
+}
+
+// TestStreamOversizedFrameRejected: the per-frame bound still bites —
+// a single frame past the cap fails loudly instead of ballooning the
+// client's memory, and the error names the limit.
+func TestStreamOversizedFrameRejected(t *testing.T) {
+	old := maxExpandBytes
+	maxExpandBytes = 512
+	t.Cleanup(func() { maxExpandBytes = old })
+
+	scs := execScenarios(1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintf(w, `{"stream":{"physics":%q,"scenarios":1}}`+"\n", execPhysics)
+		fmt.Fprintf(w, `{"result":{"id":%q,"key":%q,"error":%q}}`+"\n",
+			scs[0].ID(), scs[0].Key(), strings.Repeat("x", int(maxExpandBytes)))
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+	c.Physics = execPhysics
+	if _, err := c.ExecuteScenariosStream(context.Background(), scs, nil); err == nil ||
+		!strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized frame error = %v, want explicit limit report", err)
+	}
+}
+
 // TestHealthzDefaultMaxCells: an unconfigured server advertises the
 // package default, so old deployments keep their historical cap.
 func TestHealthzDefaultMaxCells(t *testing.T) {

@@ -1,0 +1,345 @@
+package sweepd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloversim/internal/store"
+	"cloversim/internal/sweep"
+)
+
+const syncPhysics = "psync"
+
+func syncStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(filepath.Join(t.TempDir(), "store"), syncPhysics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func putN(t *testing.T, st *store.Store, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		var m sweep.Metrics
+		m.Add("v", float64(i)/3.0)
+		m.Add("nan", math.NaN())
+		if err := st.Put(sweep.Scenario{Machine: "m", Ranks: i + 1, Seed: 3}, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// recordsEqualBitExact compares two stores' full live sets for
+// bit-exact equality — the convergence criterion of replication.
+func recordsEqualBitExact(t *testing.T, a, b *store.Store) {
+	t.Helper()
+	ra, rb := a.Records(), b.Records()
+	if len(ra) != len(rb) {
+		t.Fatalf("stores diverge: %d vs %d records", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].ID != rb[i].ID || ra[i].Scenario != rb[i].Scenario {
+			t.Fatalf("record %d diverges: %s vs %s", i, ra[i].ID, rb[i].ID)
+		}
+		if len(ra[i].Metrics) != len(rb[i].Metrics) {
+			t.Fatalf("record %s metric count diverges", ra[i].ID)
+		}
+		for j := range ra[i].Metrics {
+			ma, mb := ra[i].Metrics[j], rb[i].Metrics[j]
+			if ma.Name != mb.Name || math.Float64bits(ma.Value) != math.Float64bits(mb.Value) {
+				t.Fatalf("record %s metric %s: %#x vs %#x", ra[i].ID, ma.Name,
+					math.Float64bits(ma.Value), math.Float64bits(mb.Value))
+			}
+		}
+	}
+}
+
+func nopRunner(context.Context, sweep.Scenario) (sweep.Metrics, error) {
+	return nil, fmt.Errorf("sync tests never simulate")
+}
+
+// TestSyncConvergesTwoWorkers: worker B replicates from worker A over
+// /v1/sync with no shared filesystem, ending with a bit-exact
+// identical record set. Follow-up pulls are incremental (watermark),
+// and the steady state transfers nothing.
+func TestSyncConvergesTwoWorkers(t *testing.T) {
+	stA, stB := syncStore(t), syncStore(t)
+	putN(t, stA, 0, 5)
+	tsA := startServer(t, stA, nopRunner, 1)
+
+	client := NewClient(tsA.URL)
+	client.Physics = syncPhysics
+	p := &Puller{Client: client, Store: stB}
+
+	n, err := p.Pull(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("first pull applied %d records, want 5", n)
+	}
+	recordsEqualBitExact(t, stA, stB)
+
+	// A admits two more; the next pull is incremental.
+	putN(t, stA, 5, 2)
+	if n, err = p.Pull(context.Background()); err != nil || n != 2 {
+		t.Fatalf("incremental pull: %d, %v; want 2 records", n, err)
+	}
+	recordsEqualBitExact(t, stA, stB)
+
+	// Steady state: nothing to transfer.
+	if n, err = p.Pull(context.Background()); err != nil || n != 0 {
+		t.Fatalf("steady-state pull: %d, %v; want 0 records", n, err)
+	}
+}
+
+// TestSyncBidirectionalMerge: two workers that each hold records the
+// other is missing converge to the union by pulling from each other.
+func TestSyncBidirectionalMerge(t *testing.T) {
+	stA, stB := syncStore(t), syncStore(t)
+	putN(t, stA, 0, 3)
+	putN(t, stB, 3, 3)
+	tsA := startServer(t, stA, nopRunner, 1)
+	tsB := startServer(t, stB, nopRunner, 1)
+
+	cA, cB := NewClient(tsA.URL), NewClient(tsB.URL)
+	cA.Physics, cB.Physics = syncPhysics, syncPhysics
+	pAB := &Puller{Client: cA, Store: stB} // B pulls from A
+	pBA := &Puller{Client: cB, Store: stA} // A pulls from B
+
+	if n, err := pAB.Pull(context.Background()); err != nil || n != 3 {
+		t.Fatalf("B<-A pull: %d, %v", n, err)
+	}
+	// B now holds the union, so A's pull streams all 6 — the 3 records
+	// A already holds apply as idempotent no-ops.
+	if n, err := pBA.Pull(context.Background()); err != nil || n != 6 {
+		t.Fatalf("A<-B pull: %d, %v; want all 6 streamed", n, err)
+	}
+	if stA.Len() != 6 || stB.Len() != 6 {
+		t.Fatalf("stores hold %d and %d records, want 6 each", stA.Len(), stB.Len())
+	}
+	recordsEqualBitExact(t, stA, stB)
+}
+
+// TestSyncRefusesMixedPhysics: both the server (physics query param,
+// 409) and the client (header frame check) refuse to merge result sets
+// simulated under different physics versions.
+func TestSyncRefusesMixedPhysics(t *testing.T) {
+	stA := syncStore(t)
+	putN(t, stA, 0, 1)
+	tsA := startServer(t, stA, nopRunner, 1)
+
+	client := NewClient(tsA.URL)
+	client.Physics = "pother"
+	_, _, err := client.SyncSince(context.Background(), SyncState{}, func(store.Record) error {
+		t.Fatal("record applied across a physics mismatch")
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "mixed-physics") {
+		t.Fatalf("server-side refusal missing: %v", err)
+	}
+
+	// Client-side defense: a proxy that strips the query still cannot
+	// sneak foreign records in — the header frame names the physics.
+	resp, err := http.Get(tsA.URL + "/v1/sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("paramless sync status %d", resp.StatusCode)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A peer that ignores the physics param and streams its own.
+		fmt.Fprintf(w, `{"sync":{"physics":"pforeign","epoch":"e","since":0,"watermark":1,"records":0}}`+"\n")
+		fmt.Fprintf(w, `{"summary":{"sent":0,"watermark":1}}`+"\n")
+	}))
+	t.Cleanup(srv.Close)
+	c2 := NewClient(srv.URL)
+	c2.Physics = syncPhysics
+	if _, _, err := c2.SyncSince(context.Background(), SyncState{}, nil); err == nil ||
+		!strings.Contains(err.Error(), "refusing mixed-physics sync") {
+		t.Fatalf("client-side refusal missing: %v", err)
+	}
+}
+
+// TestSyncEpochRestart: compacting the origin renumbers its records
+// and mints a new epoch; a puller holding the old watermark must
+// transparently restart from zero and still converge (idempotent
+// applies, no duplicates).
+func TestSyncEpochRestart(t *testing.T) {
+	stA, stB := syncStore(t), syncStore(t)
+	putN(t, stA, 0, 4)
+	tsA := startServer(t, stA, nopRunner, 1)
+	client := NewClient(tsA.URL)
+	client.Physics = syncPhysics
+	p := &Puller{Client: client, Store: stB}
+
+	if n, err := p.Pull(context.Background()); err != nil || n != 4 {
+		t.Fatalf("first pull: %d, %v", n, err)
+	}
+	if _, err := stA.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	putN(t, stA, 4, 1)
+
+	// The old watermark belongs to the pre-compact epoch: the server
+	// replays everything, B re-applies idempotently and picks up the
+	// new record. No duplicates, full convergence.
+	if n, err := p.Pull(context.Background()); err != nil || n != 5 {
+		t.Fatalf("post-compact pull: %d, %v; want full 5-record replay", n, err)
+	}
+	if stB.Len() != 5 {
+		t.Fatalf("B holds %d records, want 5", stB.Len())
+	}
+	recordsEqualBitExact(t, stA, stB)
+}
+
+// TestSyncTruncatedStreamKeepsWatermark: a stream that dies before its
+// summary frame must error and leave the resume state unadvanced, so
+// the records lost with the truncation are pulled again next round.
+func TestSyncTruncatedStreamKeepsWatermark(t *testing.T) {
+	line, err := store.EncodeRecord(syncPhysics, sweep.Scenario{Machine: "m", Ranks: 1, Seed: 3}, sweep.Metrics{{Name: "v", Value: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"sync":{"physics":%q,"epoch":"e1","since":0,"watermark":9,"records":3}}`+"\n", syncPhysics)
+		fmt.Fprintf(w, `{"record":%s}`+"\n", line[:len(line)-1])
+		// ...connection dies here: no summary frame.
+	}))
+	t.Cleanup(srv.Close)
+
+	c := NewClient(srv.URL)
+	c.Physics = syncPhysics
+	applied := 0
+	state, n, err := c.SyncSince(context.Background(), SyncState{Epoch: "old", Watermark: 7},
+		func(store.Record) error { applied++; return nil })
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated stream not reported: %v", err)
+	}
+	if n != 1 || applied != 1 {
+		t.Fatalf("applied %d/%d records before truncation, want 1", applied, n)
+	}
+	if state.Epoch != "old" || state.Watermark != 7 {
+		t.Fatalf("truncation advanced the watermark: %+v", state)
+	}
+}
+
+// TestSyncRejectsForgedRecords: a record frame that fails the store's
+// integrity contract (ID not matching its key) must fail the pull, not
+// enter the local store.
+func TestSyncRejectsForgedRecords(t *testing.T) {
+	line, err := store.EncodeRecord(syncPhysics, sweep.Scenario{Machine: "m", Ranks: 1, Seed: 3}, sweep.Metrics{{Name: "v", Value: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := strings.Replace(string(line[:len(line)-1]), `"id":"`, `"id":"beef`, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"sync":{"physics":%q,"epoch":"e1","since":0,"watermark":1,"records":1}}`+"\n", syncPhysics)
+		fmt.Fprintf(w, `{"record":%s}`+"\n", forged)
+		fmt.Fprintf(w, `{"summary":{"sent":1,"watermark":1}}`+"\n")
+	}))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	c.Physics = syncPhysics
+	if _, _, err := c.SyncSince(context.Background(), SyncState{}, func(store.Record) error {
+		t.Fatal("forged record applied")
+		return nil
+	}); err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("forged record not rejected: %v", err)
+	}
+}
+
+// TestAdminCompact: the admin endpoint compacts a multi-segment live
+// store in place and reports the stats; the daemon keeps serving the
+// same records afterwards.
+func TestAdminCompact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	// Two sealed segments from previous "processes", then the daemon's
+	// own instance.
+	for i := 0; i < 2; i++ {
+		st, err := store.Open(dir, syncPhysics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		putN(t, st, i*2, 2)
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := store.Open(dir, syncPhysics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	ts := startServer(t, st, nopRunner, 1)
+
+	resp, err := http.Post(ts.URL+"/v1/admin/compact", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact status %d", resp.StatusCode)
+	}
+	var cs store.CompactStats
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.SegmentsBefore != 2 || cs.SegmentsAfter != 1 || cs.Records != 4 {
+		t.Fatalf("compact stats = %s, want 2 segments -> 1, 4 records", cs)
+	}
+	if st.Len() != 4 {
+		t.Fatalf("store serves %d records after compact, want 4", st.Len())
+	}
+	// And the daemon still serves them over the API.
+	r2, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var h Health
+	if err := json.NewDecoder(r2.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Records != 4 {
+		t.Fatalf("healthz records = %d, want 4", h.Records)
+	}
+}
+
+// TestPullerRetriesAfterFailedSync: when the local fsync fails after a
+// pull, the watermark must not advance — the next pull re-applies the
+// same records (idempotently) and re-attempts durability.
+func TestPullerRetriesAfterFailedSync(t *testing.T) {
+	stA, stB := syncStore(t), syncStore(t)
+	putN(t, stA, 0, 3)
+	tsA := startServer(t, stA, nopRunner, 1)
+	client := NewClient(tsA.URL)
+	client.Physics = syncPhysics
+
+	spy := &syncSpyStore{ResultStore: stB, syncErr: fmt.Errorf("disk full")}
+	p := &Puller{Client: client, Store: spy}
+	if _, err := p.Pull(context.Background()); err == nil {
+		t.Fatal("failed fsync not reported")
+	}
+	spy.syncErr = nil
+	n, err := p.Pull(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("retry pull applied %d records, want the same 3 again", n)
+	}
+	recordsEqualBitExact(t, stA, stB)
+}

@@ -115,4 +115,41 @@ func TestStoreRoundTripMatchesColdRun(t *testing.T) {
 			}
 		}
 	}
+
+	// Maintenance must preserve the property: compact the store (merging
+	// segments, rewriting the index sidecar) and reopen once more — this
+	// open recovers through the sidecar, so every record below is read
+	// lazily at its byte offset. Bits must still match the cold run.
+	if _, err := st2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := store.Open(dir, PhysicsVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if stats := st3.Stats(); stats.Sidecars != 1 || stats.Segments != 1 {
+		t.Fatalf("post-compact reopen did not recover via sidecar: %s", stats)
+	}
+	for _, sc := range scenarios {
+		want := cold[sc.ID()]
+		got, ok := st3.Get(sc)
+		if !ok {
+			t.Errorf("%s: record missing after compact + lazy reopen", sc.Label())
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: %d metrics after compacted round trip, want %d", sc.Label(), len(got), len(want))
+			continue
+		}
+		for i := range want {
+			if got[i].Name != want[i].Name ||
+				math.Float64bits(got[i].Value) != math.Float64bits(want[i].Value) {
+				t.Errorf("%s: metric %s drifted through compaction + lazy load", sc.Label(), want[i].Name)
+			}
+		}
+	}
 }
