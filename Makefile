@@ -1,0 +1,29 @@
+# Local invocations identical to CI's blocking gates.
+
+GO ?= go
+
+.PHONY: build test lint vettool fmt tidy
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint is the exact command CI runs as its blocking static-analysis
+# step: the cloverlint invariant suite (mapiter, exactbits, ctxflow,
+# nondet) over every package. Exit 0 clean, 1 findings, 2 load failure.
+lint:
+	$(GO) run ./cmd/cloverlint ./...
+
+# vettool runs the same suite through go vet's unitchecker protocol —
+# per-package caching, dependency export data from the build cache.
+vettool:
+	$(GO) build -o $(or $(TMPDIR),/tmp)/cloverlint ./cmd/cloverlint
+	$(GO) vet -vettool=$(or $(TMPDIR),/tmp)/cloverlint ./...
+
+fmt:
+	gofmt -l -w .
+
+tidy:
+	$(GO) mod tidy

@@ -107,6 +107,8 @@ func (r StoreResult) Ratio() float64 {
 }
 
 // RunStore executes the store microbenchmark.
+//
+//lint:allow ctxflow bounded single-scenario kernel; campaign cancellation is scenario-granular at the sweep engine
 func RunStore(o StoreOptions) (StoreResult, error) {
 	if err := checkCores(o.Machine, o.Cores); err != nil {
 		return StoreResult{}, err
@@ -210,6 +212,8 @@ func (r CopyResult) RWRatio() float64 {
 }
 
 // RunCopy executes the copy benchmark.
+//
+//lint:allow ctxflow bounded single-scenario kernel; campaign cancellation is scenario-granular at the sweep engine
 func RunCopy(o CopyOptions) (CopyResult, error) {
 	if err := checkCores(o.Machine, o.Cores); err != nil {
 		return CopyResult{}, err

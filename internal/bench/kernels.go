@@ -116,6 +116,8 @@ func (r KernelResult) ExcessReadRatio() float64 {
 }
 
 // RunKernel executes a registry kernel across cores (compact pinning).
+//
+//lint:allow ctxflow bounded single-scenario kernel; campaign cancellation is scenario-granular at the sweep engine
 func RunKernel(o KernelOptions) (KernelResult, error) {
 	k, ok := KernelByName(o.Kernel)
 	if !ok {

@@ -205,6 +205,8 @@ func simulateGroup(o TrafficOptions, spec *machine.Spec, env trace.Env, g *rankG
 
 // RunTraffic simulates the memory traffic of one hydro step for the
 // given rank count and returns per-loop aggregates.
+//
+//lint:allow ctxflow one cell's bounded physics; cancellation is scenario-granular at the sweep engine (PR 4)
 func RunTraffic(o TrafficOptions) (*TrafficResult, error) {
 	o.defaults()
 	if o.Machine == nil {

@@ -401,6 +401,7 @@ func (b *board) take(ctx context.Context, wi, n int, stragglerAfter time.Duratio
 		}
 		// Queue drained: look for stragglers this worker may steal, and
 		// otherwise work out how long until the oldest becomes eligible.
+		//lint:allow nondet straggler clock: re-dispatch timing only; first-report-wins keeps results byte-identical
 		now := time.Now()
 		wait := time.Duration(-1)
 		for i := range b.cells {
@@ -435,6 +436,7 @@ func (b *board) take(ctx context.Context, wi, n int, stragglerAfter time.Duratio
 			}
 			continue
 		}
+		//lint:allow nondet straggler wake-up timer: scheduling only, never result content
 		timer := time.NewTimer(wait + time.Millisecond)
 		select {
 		case <-wake:
@@ -456,6 +458,7 @@ func (b *board) claim(c *cellState, wi int) {
 	if c.owners == nil {
 		c.owners = make(map[int]bool, 2)
 	}
+	//lint:allow nondet straggler clock reset on claim: re-dispatch timing only
 	c.since = time.Now()
 	c.owners[wi] = true
 }

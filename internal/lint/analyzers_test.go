@@ -1,0 +1,43 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cloversim/internal/lint"
+	"cloversim/internal/lint/linttest"
+)
+
+// Each fixture tree is a miniature `module cloversim` so the
+// analyzers' import-path scoping applies exactly as in the real repo:
+// the internal/<scoped> package carries `// want` expectations, the
+// internal/other (or cmd/...) sibling holds the same shapes out of
+// scope and expects silence.
+
+func TestMapIter(t *testing.T) {
+	t.Parallel()
+	linttest.Run(t, "testdata/mapiter", lint.MapIter)
+}
+
+func TestExactBits(t *testing.T) {
+	t.Parallel()
+	linttest.Run(t, "testdata/exactbits", lint.ExactBits)
+}
+
+func TestCtxFlow(t *testing.T) {
+	t.Parallel()
+	linttest.Run(t, "testdata/ctxflow", lint.CtxFlow)
+}
+
+func TestNonDet(t *testing.T) {
+	t.Parallel()
+	linttest.Run(t, "testdata/nondet", lint.NonDet)
+}
+
+// TestAllowHygiene covers the annotation meta-rules: a reasonless
+// allow suppresses nothing and is reported, unknown analyzer names are
+// reported, unused allows are reported, and a reasoned allow over a
+// real finding suppresses it cleanly.
+func TestAllowHygiene(t *testing.T) {
+	t.Parallel()
+	linttest.Run(t, "testdata/allow", lint.NonDet)
+}

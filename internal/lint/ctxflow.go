@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the repo's cancellation contract (PR 4): contexts
+// flow down the call stack, they are not minted mid-stack.
+//
+// Rule 1: calling context.Background() or context.TODO() inside a
+// function that already has a context.Context parameter in scope
+// discards the caller's cancellation — an expand that should abort on
+// client disconnect quietly becomes immortal. Deliberate nil-ctx
+// compatibility defaulting carries a //lint:allow ctxflow <reason>.
+//
+// Rule 2: an exported function or method (on an exported type) that
+// launches goroutines or sleeps without accepting a context.Context
+// gives its callers no way to bound it.
+//
+// Package main is exempt: roots of the context tree live there.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context.Background/TODO where a ctx is in scope, and un-cancellable exported APIs",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) error {
+	if p.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasCtx := funcHasCtxParam(p, fd.Type)
+			checkCtxMinting(p, fd.Body, hasCtx)
+			if !hasCtx && exportedOutsidePkg(fd) {
+				checkUnboundedExported(p, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCtxMinting walks body flagging context.Background/TODO calls
+// while a ctx parameter is in scope; function literals extend the
+// scope with their own parameters.
+func checkCtxMinting(p *Pass, body ast.Node, ctxInScope bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkCtxMinting(p, n.Body, ctxInScope || funcHasCtxParam(p, n.Type))
+			return false
+		case *ast.CallExpr:
+			if !ctxInScope {
+				return true
+			}
+			if name, ok := contextPkgCall(p, n); ok && (name == "Background" || name == "TODO") {
+				p.Report(n.Pos(), "context.%s() minted while a context.Context parameter is in scope — this discards the caller's cancellation; thread the ctx through (or annotate deliberate nil-ctx defaulting with //lint:allow ctxflow <reason>)", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkUnboundedExported flags exported ctx-less functions whose body
+// launches goroutines or sleeps.
+func checkUnboundedExported(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			p.Report(fd.Pos(), "exported %s launches goroutines but accepts no context.Context — callers cannot cancel it", fd.Name.Name)
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+					p.Report(fd.Pos(), "exported %s calls time.Sleep but accepts no context.Context — callers cannot cancel the wait", fd.Name.Name)
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// funcHasCtxParam reports whether ft declares a context.Context
+// parameter.
+func funcHasCtxParam(p *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(p.TypesInfo.Types[field.Type].Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// contextPkgCall reports whether call is context.<Name>() and returns
+// Name.
+func contextPkgCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// exportedOutsidePkg reports whether fd is callable from outside the
+// package: exported name, and for methods an exported receiver type.
+func exportedOutsidePkg(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ExactBits guards the exact-bits invariant on every wire and disk
+// format: scenario-metric float64 values are carried as IEEE-754 bits,
+// never as bare decimal floats.
+//
+// Rule 1 (the NaN/±Inf class, PR 7's JSONEmitter bug): a value whose
+// type transitively contains a bare float64/float32 must not reach
+// encoding/json — json.Marshal fails outright on non-finite values,
+// and nothing in the schema carries the authoritative bits. A struct
+// is exempt when it pairs its float fields with a bits field (a
+// sibling whose name or json tag contains "bits"), the repo's
+// established encoding (sweep.jsonMetric, store's line metrics).
+//
+// Rule 2 (decimal truncation): formatting a float with a lossy fmt
+// verb — %f/%e (default precision 6) or any explicit precision —
+// destroys bits. Shortest-round-trip forms (%v, %g without precision,
+// %x) are exempt.
+//
+// Scoped to the determinism-critical packages.
+var ExactBits = &Analyzer{
+	Name: "exactbits",
+	Doc:  "flag float64 values reaching encoding/json or lossy fmt verbs without the bits-field encoding",
+	Run:  runExactBits,
+}
+
+func runExactBits(p *Pass) error {
+	if !pkgScope(p.PkgPath, determinismPkgs) {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkJSONSink(p, call)
+			checkLossyFmt(p, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkJSONSink flags json.Marshal/MarshalIndent and
+// (*json.Encoder).Encode arguments whose type holds unguarded floats.
+func checkJSONSink(p *Pass, call *ast.CallExpr) {
+	var arg ast.Expr
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch {
+		case isPkgFunc(p, sel, "encoding/json", "Marshal"), isPkgFunc(p, sel, "encoding/json", "MarshalIndent"):
+			if len(call.Args) > 0 {
+				arg = call.Args[0]
+			}
+		case sel.Sel.Name == "Encode" && isEncoderType(p.TypesInfo.TypeOf(sel.X)):
+			if len(call.Args) > 0 {
+				arg = call.Args[0]
+			}
+		}
+	}
+	if arg == nil {
+		return
+	}
+	t := p.TypesInfo.TypeOf(arg)
+	if t == nil {
+		return
+	}
+	if path := unguardedFloatPath(t, "", map[types.Type]bool{}); path != "" {
+		p.Report(arg.Pos(), "%s reaches encoding/json with a bare float (%s): non-finite values fail to encode and decimal output is not bit-authoritative — pair the field with a bits mirror (cf. sweep.jsonMetric) or encode math.Float64bits", exprString(p.Fset, arg), path)
+	}
+}
+
+// unguardedFloatPath walks t looking for a float64/float32 that would
+// be marshaled by encoding/json without a bits-field guard. It returns
+// a human-readable path to the first offender, or "".
+func unguardedFloatPath(t types.Type, path string, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsFloat != 0 {
+			if path == "" {
+				path = typeName(t)
+			}
+			return path
+		}
+	case *types.Pointer:
+		return unguardedFloatPath(u.Elem(), path, seen)
+	case *types.Slice:
+		return unguardedFloatPath(u.Elem(), path+"[]", seen)
+	case *types.Array:
+		return unguardedFloatPath(u.Elem(), path+"[]", seen)
+	case *types.Map:
+		return unguardedFloatPath(u.Elem(), path+"[key]", seen)
+	case *types.Struct:
+		guarded := structHasBitsField(u)
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() || jsonTagName(u.Tag(i)) == "-" {
+				continue
+			}
+			ft := f.Type()
+			if ptr, ok := ft.Underlying().(*types.Pointer); ok {
+				ft = ptr.Elem()
+			}
+			if b, ok := ft.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				if guarded {
+					continue
+				}
+				return path + "." + f.Name()
+			}
+			if sub := unguardedFloatPath(f.Type(), path+"."+f.Name(), seen); sub != "" {
+				return sub
+			}
+		}
+	}
+	return ""
+}
+
+// structHasBitsField reports whether the struct carries an IEEE-754
+// bits mirror: any field whose name or json tag contains "bits".
+func structHasBitsField(s *types.Struct) bool {
+	for i := 0; i < s.NumFields(); i++ {
+		if strings.Contains(strings.ToLower(s.Field(i).Name()), "bits") {
+			return true
+		}
+		if strings.Contains(strings.ToLower(jsonTagName(s.Tag(i))), "bits") {
+			return true
+		}
+	}
+	return false
+}
+
+func jsonTagName(tag string) string {
+	// reflect.StructTag.Get without importing reflect at analysis
+	// time: the loader gives us raw tags.
+	for tag != "" {
+		i := 0
+		for i < len(tag) && tag[i] == ' ' {
+			i++
+		}
+		tag = tag[i:]
+		i = strings.IndexByte(tag, ':')
+		if i < 0 {
+			break
+		}
+		name := tag[:i]
+		rest := tag[i+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			break
+		}
+		j := strings.IndexByte(rest[1:], '"')
+		if j < 0 {
+			break
+		}
+		val := rest[1 : 1+j]
+		tag = rest[j+2:]
+		if name == "json" {
+			if c := strings.IndexByte(val, ','); c >= 0 {
+				val = val[:c]
+			}
+			return val
+		}
+	}
+	return ""
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// checkLossyFmt flags float arguments formatted with lossy verbs in
+// fmt's printf family.
+func checkLossyFmt(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	var fmtIdx int
+	switch {
+	case isPkgFunc(p, sel, "fmt", "Sprintf"), isPkgFunc(p, sel, "fmt", "Printf"), isPkgFunc(p, sel, "fmt", "Errorf"):
+		fmtIdx = 0
+	case isPkgFunc(p, sel, "fmt", "Fprintf"):
+		fmtIdx = 1
+	default:
+		return
+	}
+	if len(call.Args) <= fmtIdx {
+		return
+	}
+	tv, ok := p.TypesInfo.Types[call.Args[fmtIdx]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := parseVerbs(constant.StringVal(tv.Value))
+	args := call.Args[fmtIdx+1:]
+	for i, v := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if !v.lossy {
+			continue
+		}
+		at := p.TypesInfo.TypeOf(args[i])
+		if at == nil || !isFloat(at) {
+			continue
+		}
+		p.Report(args[i].Pos(), "float formatted with lossy verb %%%s: decimal truncation destroys bits — use %%v/%%g (shortest round-trip) or the bits-field encoding", v.text)
+	}
+}
+
+type fmtVerb struct {
+	text  string
+	lossy bool
+}
+
+// parseVerbs extracts the verb sequence from a printf format string,
+// marking verbs that truncate floats: %f/%e/%F/%E (default precision
+// 6) and any verb with an explicit precision. %v, %g without
+// precision, and %x are shortest-round-trip or exact. A `*` width or
+// precision consumes an argument slot of its own.
+func parseVerbs(format string) []fmtVerb {
+	var out []fmtVerb
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		start := i
+		hasPrec := false
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				out = append(out, fmtVerb{"*", false}) // width/precision arg slot
+				i++
+				continue
+			}
+			if c == '.' {
+				hasPrec = true
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789[]", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		lossy := hasPrec || verb == 'f' || verb == 'F' || verb == 'e' || verb == 'E'
+		if verb == 'x' || verb == 'X' || verb == 'b' {
+			lossy = false // exact binary/hex forms
+		}
+		out = append(out, fmtVerb{format[start : i+1], lossy})
+	}
+	return out
+}
+
+// isPkgFunc reports whether sel denotes <pkgpath>.<name>.
+func isPkgFunc(p *Pass, sel *ast.SelectorExpr, pkgPath, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

@@ -1,0 +1,214 @@
+// Package lint is cloverlint: a suite of static analyzers that
+// machine-check the repository's determinism, exact-bits, and context
+// invariants at the source level, before any differential test runs.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic) so the analyzers read like —
+// and could later be mechanically ported to — standard go/analysis
+// passes. The framework itself is standard-library only: packages are
+// loaded via `go list -export` (internal/lint.Load) and type-checked
+// with go/types against compiler export data, so the tool runs in the
+// same offline environment as the build.
+//
+// Findings are suppressed per line with an explicit, reasoned
+// annotation:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// either trailing the offending line or standing alone on the line
+// above it. The reason is mandatory — a bare allow is itself a
+// diagnostic — and an allow that suppresses nothing is reported as
+// unused, so annotations cannot silently outlive the code they excuse.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run inspects a single
+// type-checked package via the Pass and reports findings with
+// Pass.Report; it must not retain the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow
+	// annotations. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant guarded.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax trees. Test files
+	// (*_test.go) are excluded by the loader: the invariants guard
+	// shipped code, and tests legitimately use wall clocks,
+	// context.Background, and unsorted iteration.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the package's import path as reported by go list
+	// (Pkg.Path() for source-checked packages; kept separate so
+	// scoping never depends on type-checker internals).
+	PkgPath string
+
+	diags []Diagnostic
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// AllowName is the pseudo-analyzer name under which the framework
+// reports annotation-hygiene findings (missing reasons, unused or
+// unknown allows). It is not suppressible.
+const AllowName = "allow"
+
+// Run executes the given analyzers over one loaded package, applies
+// //lint:allow suppression, and returns the surviving diagnostics in
+// stable (file, line, column, analyzer) order. Annotation-hygiene
+// findings — an allow with no reason, an allow naming an unknown
+// analyzer, an allow that suppressed nothing — are appended under the
+// "allow" pseudo-analyzer.
+//
+// known lists every analyzer name the caller considers valid in
+// annotations (usually All names); ran must be a subset actually
+// executed here. An allow for a known-but-not-ran analyzer is left
+// alone: single-analyzer fixture runs must not misreport the other
+// analyzers' annotations as unknown or unused.
+func Run(pkg *Package, analyzers []*Analyzer, known []string) ([]Diagnostic, error) {
+	allows := collectAllows(pkg)
+	var out []Diagnostic
+	ranSet := map[string]bool{}
+	for _, a := range analyzers {
+		ranSet[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			PkgPath:   pkg.PkgPath,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		for _, d := range pass.diags {
+			if al := allows.match(a.Name, d.Pos); al != nil {
+				al.used = true
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	knownSet := map[string]bool{AllowName: false}
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	for _, al := range allows.all {
+		switch {
+		case !knownSet[al.analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: AllowName,
+				Pos:      al.pos,
+				Message:  fmt.Sprintf("lint:allow names unknown analyzer %q", al.analyzer),
+			})
+		case al.reason == "":
+			out = append(out, Diagnostic{
+				Analyzer: AllowName,
+				Pos:      al.pos,
+				Message:  fmt.Sprintf("lint:allow %s is missing a reason: write //lint:allow %s <why this is safe>", al.analyzer, al.analyzer),
+			})
+		case ranSet[al.analyzer] && !al.used:
+			out = append(out, Diagnostic{
+				Analyzer: AllowName,
+				Pos:      al.pos,
+				Message:  fmt.Sprintf("unused lint:allow %s: the analyzer reports nothing here — delete the annotation", al.analyzer),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// pkgScope reports whether path is one of the listed import paths.
+// Paths are compared exactly: the analyzers are scoped to this
+// repository's packages by full path, module prefix included.
+func pkgScope(path string, scoped []string) bool {
+	for _, s := range scoped {
+		if path == s {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a (small) expression for diagnostics.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	s := b.String()
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}
+
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, e.X)
+		b.WriteByte('.')
+		b.WriteString(e.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(b, e.X)
+		b.WriteString("[...]")
+	case *ast.CallExpr:
+		writeExpr(b, e.Fun)
+		b.WriteString("(...)")
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, e.X)
+	case *ast.ParenExpr:
+		writeExpr(b, e.X)
+	default:
+		b.WriteString("expr")
+	}
+}

@@ -1,0 +1,131 @@
+// Package linttest runs cloverlint analyzers over fixture packages,
+// in the style of golang.org/x/tools/go/analysis/analysistest:
+// fixture files carry `// want "regexp"` comments naming the
+// diagnostics the analyzers must produce on that line, and the run
+// fails on any mismatch in either direction.
+//
+// A fixture directory mirrors a `module cloversim` tree (so import
+// paths land inside or outside the analyzers' package scopes exactly
+// as they would in the real repo). Run copies it into a temporary
+// module, compiles and loads it with the production loader, and
+// matches diagnostics.
+package linttest
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cloversim/internal/lint"
+)
+
+// wantRe matches the rightmost want comment on a line; expectRe pulls
+// the individual quoted/backquoted patterns out of it.
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	expectRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+// Run copies the fixture tree rooted at fixtureDir into a fresh
+// `module cloversim` and checks the analyzers' diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, fixtureDir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module cloversim\n\ngo 1.24\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*want{} // "relpath:line" -> expectations
+
+	err := filepath.WalkDir(fixtureDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(fixtureDir, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(tmp, rel)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o777); err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst, data, 0o666); err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(strings.NewReader(string(data)))
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", rel, line)
+			for _, q := range expectRe.FindAllStringSubmatch(m[1], -1) {
+				pat := q[1]
+				if pat == "" {
+					pat = q[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return fmt.Errorf("%s: bad want pattern %q: %w", key, pat, err)
+				}
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs, err := lint.Load(tmp)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := lint.Run(pkg, analyzers, lint.Names())
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags = append(diags, ds...)
+	}
+
+	for _, d := range diags {
+		rel, err := filepath.Rel(tmp, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		key := fmt.Sprintf("%s:%d", rel, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}

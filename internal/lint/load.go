@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Load lists patterns in dir with the go tool and type-checks every
+// matched (non-dependency) package from source, resolving imports
+// through the compiler export data that `go list -export` produces.
+// It is the offline, stdlib-only equivalent of
+// golang.org/x/tools/go/packages.Load(NeedSyntax|NeedTypes...).
+//
+// Test files are not loaded: the suite checks shipped code only.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var targets []listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports, nil)
+
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", t.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		pkg, err := TypeCheck(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = t.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// TypeCheck type-checks one parsed package against imp and wraps it
+// for analysis. Shared by Load and cmd/cloverlint's `go vet -vettool`
+// unit mode (which gets its file lists and export data from the vet
+// config instead of go list).
+func TypeCheck(fset *token.FileSet, pkgPath string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// ExportImporter returns a types.Importer resolving import paths
+// through compiler export-data files (import path -> file), as
+// produced by `go list -export` or a vet config's PackageFile map.
+// canon maps source import paths to canonical package paths (vet's
+// ImportMap); it may be nil.
+func ExportImporter(fset *token.FileSet, exports map[string]string, canon map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return exportImporter{
+		canon: canon,
+		gc:    importer.ForCompiler(fset, "gc", lookup),
+	}
+}
+
+// exportImporter resolves imports through compiler export data,
+// delegating the decode to the standard gc importer.
+type exportImporter struct {
+	canon map[string]string
+	gc    types.Importer
+}
+
+func (i exportImporter) Import(path string) (*types.Package, error) {
+	if c, ok := i.canon[path]; ok {
+		path = c
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.gc.Import(path)
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// TestLoadRepo loads a real dependency-bearing package of this module
+// and checks the type information is genuine: identifiers resolve to
+// objects and map types are recognized, which every analyzer depends
+// on.
+func TestLoadRepo(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/sweep")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "cloversim/internal/sweep" {
+		t.Fatalf("PkgPath = %q", p.PkgPath)
+	}
+	if p.Types == nil || !p.Types.Complete() {
+		t.Fatalf("incomplete types.Package")
+	}
+	maps, uses := 0, 0
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				if tv, ok := p.Info.Types[e]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						maps++
+					}
+				}
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if p.Info.Uses[id] != nil {
+					uses++
+				}
+			}
+			return true
+		})
+	}
+	if maps == 0 {
+		t.Errorf("no map-typed expressions resolved — type info is hollow")
+	}
+	if uses < 100 {
+		t.Errorf("only %d uses resolved — type info is hollow", uses)
+	}
+}

@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter guards the repo's first determinism invariant: campaign
+// output is byte-identical across runs, worker counts, and deployment
+// shapes. Go map iteration order is deliberately randomized, so a
+// `range` over a map that feeds anything order-sensitive — appending
+// to a slice that is never deterministically sorted afterwards,
+// writing to an output stream, accumulating floating-point values
+// (float addition is not associative) — is exactly the bug class that
+// produced the PR 1 emitter nondeterminism. Scoped to the
+// determinism-critical packages.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration feeding order-sensitive sinks (unsorted appends, output writes, float accumulation)",
+	Run:  runMapIter,
+}
+
+func runMapIter(p *Pass) error {
+	if !pkgScope(p.PkgPath, determinismPkgs) {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := p.TypesInfo.TypeOf(rng.X); t == nil {
+					return true
+				} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRangeBody(p, fd, rng)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMapRangeBody inspects one map-range body for order-sensitive
+// sinks.
+func checkMapRangeBody(p *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	mapExpr := exprString(p.Fset, rng.X)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAppend(p, fd, rng, mapExpr, n)
+			checkFloatAccum(p, rng, mapExpr, n)
+		case *ast.CallExpr:
+			checkOutputWrite(p, rng, mapExpr, n)
+		case *ast.SendStmt:
+			p.Report(n.Pos(), "channel send inside iteration over map %s: delivery order follows randomized map order", mapExpr)
+		}
+		return true
+	})
+}
+
+// checkAppend flags `x = append(x, ...)` inside a map-range body when
+// x outlives the loop and no deterministic sort of x follows the loop
+// in the same function.
+func checkAppend(p *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, mapExpr string, as *ast.AssignStmt) {
+	for _, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := p.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		obj := rootObject(p, call.Args[0])
+		if obj == nil || declaredWithin(obj, rng) {
+			continue
+		}
+		if sortedAfter(p, fd, rng, obj) {
+			continue
+		}
+		p.Report(as.Pos(), "append to %s inside iteration over map %s without a deterministic sort afterwards: element order follows randomized map order", obj.Name(), mapExpr)
+	}
+}
+
+// checkFloatAccum flags floating-point accumulation (x += v, x = x+v)
+// into a variable that outlives the loop: float addition is not
+// associative, so the sum depends on map order. No sort can fix this —
+// accumulate into a sorted slice instead.
+func checkFloatAccum(p *Pass, rng *ast.RangeStmt, mapExpr string, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 {
+		return
+	}
+	obj := rootObject(p, as.Lhs[0])
+	if obj == nil || declaredWithin(obj, rng) {
+		return
+	}
+	t := p.TypesInfo.TypeOf(as.Lhs[0])
+	if t == nil || !isFloat(t) {
+		return
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		p.Report(as.Pos(), "floating-point accumulation into %s inside iteration over map %s: float arithmetic is order-sensitive and map order is random", obj.Name(), mapExpr)
+	case token.ASSIGN:
+		if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok && refsObject(p, bin, obj) {
+			p.Report(as.Pos(), "floating-point accumulation into %s inside iteration over map %s: float arithmetic is order-sensitive and map order is random", obj.Name(), mapExpr)
+		}
+	}
+}
+
+// checkOutputWrite flags direct output inside a map-range body:
+// fmt.Print*/Fprint*, io.WriteString, or Write*/Encode methods on an
+// io.Writer-shaped receiver (including *json.Encoder and *csv.Writer,
+// which wrap one).
+func checkOutputWrite(p *Pass, rng *ast.RangeStmt, mapExpr string, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Package function: fmt.Fprintf / fmt.Println / io.WriteString.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.TypesInfo.Uses[id].(*types.PkgName); ok {
+			path, name := pn.Imported().Path(), sel.Sel.Name
+			if path == "fmt" && (len(name) >= 5 && (name[:5] == "Print" || name[:6] == "Fprint")) {
+				p.Report(call.Pos(), "fmt.%s inside iteration over map %s: output order follows randomized map order", name, mapExpr)
+			}
+			if path == "io" && name == "WriteString" {
+				p.Report(call.Pos(), "io.WriteString inside iteration over map %s: output order follows randomized map order", mapExpr)
+			}
+			return
+		}
+	}
+	// Method call: Write/WriteString/... or Encode on a writer.
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+	default:
+		return
+	}
+	recv := p.TypesInfo.TypeOf(sel.X)
+	if recv == nil {
+		return
+	}
+	if types.Implements(recv, ioWriterIface) || types.Implements(types.NewPointer(recv), ioWriterIface) || isEncoderType(recv) {
+		p.Report(call.Pos(), "%s.%s inside iteration over map %s: output order follows randomized map order", exprString(p.Fset, sel.X), sel.Sel.Name, mapExpr)
+	}
+}
+
+// sortedAfter reports whether some sort.* / slices.* call referencing
+// obj appears lexically after the range statement inside fd's body —
+// the deterministic-sort escape hatch for collect-then-sort loops.
+func sortedAfter(p *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refsObject(p, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rootObject peels index/selector/paren/star wrappers and returns the
+// base identifier's object: for `bySeg[k]` it is bySeg, for `s.out` it
+// is s.
+func rootObject(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch t := e.(type) {
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.Ident:
+			if o := p.TypesInfo.Uses[t]; o != nil {
+				return o
+			}
+			return p.TypesInfo.Defs[t]
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// range statement (loop-local variables are order-insensitive from the
+// caller's point of view).
+func declaredWithin(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+}
+
+// refsObject reports whether expr mentions obj.
+func refsObject(p *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// ioWriterIface is a structural io.Writer for types.Implements checks
+// (built by hand: the loader has no handle on the io package itself).
+var ioWriterIface = func() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", errType)),
+		false)
+	i := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, nil, "Write", sig),
+	}, nil)
+	i.Complete()
+	return i
+}()
+
+// isEncoderType reports whether t (or *t) is encoding/json.Encoder or
+// encoding/csv.Writer — output sinks that do not themselves implement
+// io.Writer.
+func isEncoderType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "encoding/json" && name == "Encoder") ||
+		(path == "encoding/csv" && name == "Writer")
+}

@@ -1,0 +1,30 @@
+// Package sweep exercises the //lint:allow hygiene rules (run with
+// the nondet analyzer): a reasonless allow suppresses nothing and is
+// itself reported, an unknown analyzer name is reported, and an allow
+// with nothing to suppress is reported as unused.
+package sweep
+
+import "time"
+
+// MissingReason: the bare allow does NOT suppress — both the nondet
+// finding and the missing-reason finding fire.
+func MissingReason() int64 {
+	return time.Now().UnixNano() //lint:allow nondet // want `lint:allow nondet is missing a reason` `time.Now is nondeterministic`
+}
+
+func UnknownAnalyzer() int64 {
+	//lint:allow bogus because reasons // want `lint:allow names unknown analyzer "bogus"`
+	return 0
+}
+
+func Unused() int64 {
+	//lint:allow nondet overly cautious annotation // want `unused lint:allow nondet`
+	return 1
+}
+
+// Valid is the suppression-path positive: reasoned allow, finding
+// gone, no hygiene noise.
+func Valid() int64 {
+	//lint:allow nondet fixture: epoch identity only
+	return time.Now().UnixNano()
+}

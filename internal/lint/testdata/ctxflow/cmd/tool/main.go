@@ -1,0 +1,14 @@
+// Command tool shows that package main is exempt: roots of the
+// context tree are minted here.
+package main
+
+import "context"
+
+func run(ctx context.Context) {
+	_ = context.Background()
+	go func() {}()
+}
+
+func main() {
+	run(context.Background())
+}

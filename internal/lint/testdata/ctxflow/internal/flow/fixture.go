@@ -1,0 +1,82 @@
+// Package flow is a ctxflow fixture (every non-main package is in
+// scope).
+package flow
+
+import (
+	"context"
+	"time"
+)
+
+// WithCtx discards its caller's cancellation.
+func WithCtx(ctx context.Context) error {
+	_ = context.Background() // want `context.Background\(\) minted while a context.Context parameter is in scope`
+	return ctx.Err()
+}
+
+// WithTODO does the same via TODO.
+func WithTODO(ctx context.Context) error {
+	_ = context.TODO() // want `context.TODO\(\) minted while a context.Context parameter is in scope`
+	return ctx.Err()
+}
+
+// NoCtx has no context parameter: minting a root here is fine.
+func NoCtx() context.Context {
+	return context.Background()
+}
+
+// InLiteral: the enclosing function's ctx is still in scope inside
+// the literal.
+func InLiteral(ctx context.Context) func() {
+	_ = ctx
+	return func() {
+		_ = context.Background() // want `context.Background\(\) minted while a context.Context parameter is in scope`
+	}
+}
+
+// LitParam: the literal takes its own ctx.
+func LitParam() func(context.Context) {
+	return func(ctx context.Context) {
+		_ = ctx
+		_ = context.Background() // want `context.Background\(\) minted while a context.Context parameter is in scope`
+	}
+}
+
+// Spawn launches a goroutine with no way to cancel it.
+func Spawn(done chan struct{}) { // want `exported Spawn launches goroutines but accepts no context.Context`
+	go func() { done <- struct{}{} }()
+}
+
+// SpawnCtx is the cancellable form: clean.
+func SpawnCtx(ctx context.Context, done chan struct{}) {
+	go func() {
+		select {
+		case done <- struct{}{}:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// spawn is unexported: package-internal plumbing is exempt.
+func spawn(done chan struct{}) {
+	go func() { done <- struct{}{} }()
+}
+
+// Nap blocks with no way to cancel the wait.
+func Nap() { // want `exported Nap calls time.Sleep but accepts no context.Context`
+	time.Sleep(time.Millisecond)
+}
+
+type hidden struct{}
+
+// Spawn on an unexported receiver type is not callable from outside:
+// exempt.
+func (hidden) Spawn(done chan struct{}) {
+	go func() { done <- struct{}{} }()
+}
+
+// Compat is a documented context-free compatibility shim.
+//
+//lint:allow ctxflow fixture: compat shim, the goroutine is bounded by the call
+func Compat(done chan struct{}) {
+	go func() { done <- struct{}{} }()
+}

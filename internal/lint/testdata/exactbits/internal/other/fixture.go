@@ -1,0 +1,19 @@
+// Package other sits outside the determinism-critical scope.
+package other
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type BareMetric struct {
+	Value float64 `json:"value"`
+}
+
+func Marshal(m BareMetric) ([]byte, error) {
+	return json.Marshal(m)
+}
+
+func Lossy(v float64) string {
+	return fmt.Sprintf("%.3f", v)
+}

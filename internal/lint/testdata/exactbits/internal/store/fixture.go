@@ -1,0 +1,82 @@
+// Package store is an exactbits fixture inside the determinism scope.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// BareMetric carries a float64 with no bits mirror.
+type BareMetric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// GuardedMetric pairs the decimal mirror with an authoritative bits
+// field — the repo's established exact-bits encoding.
+type GuardedMetric struct {
+	Name  string   `json:"name"`
+	Value *float64 `json:"value"`
+	Bits  string   `json:"bits,omitempty"`
+}
+
+func EncodeBare(w io.Writer, m BareMetric) error {
+	return json.NewEncoder(w).Encode(m) // want `reaches encoding/json with a bare float`
+}
+
+func EncodeGuarded(w io.Writer, m GuardedMetric) error {
+	return json.NewEncoder(w).Encode(m)
+}
+
+func MarshalMap(m map[string]float64) ([]byte, error) {
+	return json.Marshal(m) // want `reaches encoding/json with a bare float`
+}
+
+func MarshalNested(v struct{ Inner []BareMetric }) ([]byte, error) {
+	return json.Marshal(v) // want `reaches encoding/json with a bare float`
+}
+
+// MarshalInts has no floats anywhere: clean.
+func MarshalInts(v struct {
+	N  int      `json:"n"`
+	Xs []string `json:"xs"`
+}) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// SkippedField is excluded from marshaling: clean.
+func SkippedField(w io.Writer, v struct {
+	Value float64 `json:"-"`
+	Name  string  `json:"name"`
+}) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
+func LossyPrecision(v float64) string {
+	return fmt.Sprintf("%.3f", v) // want `float formatted with lossy verb %\.3f`
+}
+
+func LossyDefault(v float64) string {
+	return fmt.Sprintf("%f", v) // want `float formatted with lossy verb %f`
+}
+
+func LossyError(v float64) error {
+	return fmt.Errorf("bad value %.2g", v) // want `float formatted with lossy verb %\.2g`
+}
+
+// RoundTrip uses only exact or shortest-round-trip verbs: clean.
+func RoundTrip(v float64) string {
+	return fmt.Sprintf("%g %v %x", v, v, v)
+}
+
+// NonFloatArgs format non-floats with lossy-for-float verbs: clean.
+func NonFloatArgs(n int, s string) string {
+	return fmt.Sprintf("%.3s %d", s, n)
+}
+
+// AllowedEncode documents a justified suppression.
+func AllowedEncode(w io.Writer, m BareMetric) error {
+	//lint:allow exactbits fixture: display-only payload, finiteness guaranteed upstream
+	return json.NewEncoder(w).Encode(m)
+}

@@ -1,0 +1,19 @@
+// Package other sits outside the determinism-critical scope: the same
+// shapes that fire in internal/sweep stay silent here.
+package other
+
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func SumValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,131 @@
+// Package sweep is a mapiter fixture inside the determinism scope
+// (import path cloversim/internal/sweep in the fixture module).
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// UnsortedKeys collects map keys and never sorts them.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside iteration over map m without a deterministic sort`
+	}
+	return keys
+}
+
+// SortedKeys is the canonical collect-then-sort loop: clean.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedLater is clean too: the sort may sit in a later block.
+func SortedLater(m map[string]int, flag bool) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	if flag {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	return keys
+}
+
+// SumValues accumulates floats in map order — no sort can fix this.
+func SumValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum inside iteration over map m`
+	}
+	return sum
+}
+
+// RebuiltSum is the deterministic form of SumValues: clean.
+func RebuiltSum(m map[string]float64) float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// PrintAll writes output in map order.
+func PrintAll(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside iteration over map m`
+	}
+}
+
+// EncodeAll streams JSON in map order.
+func EncodeAll(enc *json.Encoder, m map[string]int) error {
+	for k := range m {
+		if err := enc.Encode(k); err != nil { // want `enc.Encode inside iteration over map m`
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAll writes to an io.Writer method in map order.
+func WriteAll(w io.Writer, m map[string]int) {
+	for k := range m {
+		w.Write([]byte(k)) // want `w.Write inside iteration over map m`
+	}
+}
+
+// SendAll delivers on a channel in map order.
+func SendAll(ch chan<- string, m map[string]int) {
+	for k := range m {
+		ch <- k // want `channel send inside iteration over map m`
+	}
+}
+
+// SliceRange ranges a slice: order is the slice's own, clean.
+func SliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// LoopLocal appends only to a slice scoped inside the iteration:
+// nothing order-sensitive escapes.
+func LoopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		n += len(local)
+	}
+	return n
+}
+
+// Allowed documents a justified suppression.
+func Allowed(m map[string]int) map[string]bool {
+	set := map[string]bool{}
+	var keys []string
+	for k := range m {
+		//lint:allow mapiter fixture: keys feed a set, order deliberately irrelevant
+		keys = append(keys, k)
+		set[k] = true
+	}
+	_ = keys
+	return set
+}

@@ -1,0 +1,43 @@
+// Package memsim is a nondet fixture inside the physics/simulation
+// scope.
+package memsim
+
+import (
+	cryptorand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now is nondeterministic`
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since is nondeterministic`
+}
+
+func Jitter() float64 {
+	return rand.Float64() // want `rand.Float64 is an entropy source`
+}
+
+func Pid() int {
+	return os.Getpid() // want `os.Getpid is nondeterministic`
+}
+
+func Token() ([]byte, error) {
+	b := make([]byte, 8)
+	_, err := cryptorand.Read(b) // want `rand.Read is an entropy source`
+	return b, err
+}
+
+// Deterministic time arithmetic on injected values is fine.
+func Add(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+// Epoch is annotated epoch code: the allow carries a reason.
+func Epoch() int64 {
+	//lint:allow nondet fixture: epoch identity only, never record content
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,9 @@
+// Package other sits outside the nondet scope: wall clocks are fine
+// in auxiliary tooling packages.
+package other
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -219,7 +219,7 @@ func (s *Store) mergeOneSegment(seg string, out *bufio.Writer, outOff *int64, se
 // protocol stays correct without it — only the crash window widens.
 func syncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
-		d.Sync() //nolint:errcheck
+		d.Sync() //nolint:errcheck // best-effort durability; unsupported on some filesystems (see func comment)
 		d.Close()
 	}
 }

@@ -55,6 +55,7 @@ type LocalBackend struct {
 // Execute implements Backend.
 func (b *LocalBackend) Execute(ctx context.Context, scenarios []Scenario, report ReportFunc) {
 	if ctx == nil {
+		//lint:allow ctxflow nil-ctx compat defaulting so a hand-rolled Backend caller cannot crash the pool
 		ctx = context.Background()
 	}
 	workers := b.Workers

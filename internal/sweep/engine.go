@@ -252,6 +252,7 @@ func (e *Engine) RunScenariosContext(ctx context.Context, scenarios []Scenario, 
 
 func (e *Engine) runScenarios(ctx context.Context, scenarios []Scenario, runner RunnerContext, progress func(done, total int, r Result)) Campaign {
 	if ctx == nil {
+		//lint:allow ctxflow nil-ctx compat defaulting for the context-free Run/RunScenarios forms
 		ctx = context.Background()
 	}
 	workers := e.Workers
@@ -471,8 +472,21 @@ func runSafe(ctx context.Context, run RunnerContext, s Scenario) (m Metrics, err
 // ForEach runs fn(0..n-1) on a bounded worker pool and returns the
 // lowest-index error (deterministic regardless of completion order).
 // It is the shared replacement for the ad-hoc WaitGroup+semaphore
-// loops the experiment drivers used to carry.
+// loops the experiment drivers used to carry. It is the
+// context-free compatibility form of ForEachContext.
 func ForEach(workers, n int, fn func(int) error) error {
+	return ForEachContext(context.Background(), workers, n, fn)
+}
+
+// ForEachContext is ForEach under a context: cancellation stops
+// scheduling new tasks — running ones complete — and every task that
+// never started reports ctx's error, so the lowest-index-error
+// contract stays deterministic.
+func ForEachContext(ctx context.Context, workers, n int, fn func(int) error) error {
+	if ctx == nil {
+		//lint:allow ctxflow nil-ctx compat defaulting for the context-free ForEach form
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -480,10 +494,19 @@ func ForEach(workers, n int, fn func(int) error) error {
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("sweep: task %d: %w", i, err)
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = fmt.Errorf("sweep: task %d: %w", i, ctx.Err())
+				return
+			}
 			defer func() { <-sem }()
 			defer func() {
 				if r := recover(); r != nil {

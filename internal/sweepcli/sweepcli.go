@@ -47,6 +47,8 @@ const (
 // with SIGINT/SIGTERM cancelling the campaign: running scenarios
 // complete and persist, unstarted ones are skipped, the partial
 // campaign is emitted, and the exit code is ExitInterrupted.
+//
+//lint:allow ctxflow CLI root: mints the process signal context; its goroutine is the signal-unregister watcher bounded by it
 func Main(argv []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
