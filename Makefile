@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test lint vettool fmt tidy
+.PHONY: build test lint vettool fmt tidy bench
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,20 @@ lint:
 vettool:
 	$(GO) build -o $(or $(TMPDIR),/tmp)/cloverlint ./cmd/cloverlint
 	$(GO) vet -vettool=$(or $(TMPDIR),/tmp)/cloverlint ./...
+
+# bench mirrors CI's bench-baseline job: the same benchmark set, piped
+# through benchjson into BENCH_sweep.json. Compare two runs with
+#   $(GO) run ./cmd/benchjson -compare old.json BENCH_sweep.json
+bench:
+	set -o pipefail; \
+	{ $(GO) test -run - -bench 'BenchmarkEngineThroughput|BenchmarkEngineWarmCampaign' ./internal/sweep && \
+	  $(GO) test -run - -bench 'Range$$|StreamRange' ./internal/memsim && \
+	  $(GO) test -run - -bench 'BenchmarkRunTraffic$$' ./internal/cloverleaf && \
+	  $(GO) test -run - -bench 'BenchmarkExpandBuffered$$|BenchmarkExpandStreaming$$' ./internal/sweepd && \
+	  $(GO) test -run - -bench 'BenchmarkStoreOpen' -timeout 25m ./internal/store && \
+	  $(GO) test -run - -bench 'BenchmarkAdaptiveVsExhaustive' ./internal/search; } | tee /tmp/bench_raw.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_raw.txt > BENCH_sweep.json
+	@echo wrote BENCH_sweep.json
 
 fmt:
 	gofmt -l -w .

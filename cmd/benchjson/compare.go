@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// ReadJSON loads a document benchjson previously wrote — the inverse
+// of WriteJSON, used by -compare to diff two baselines.
+func ReadJSON(r io.Reader) (*Doc, error) {
+	var d Doc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// benchKey identifies one benchmark across baselines: package, name and
+// GOMAXPROCS all participate, so the same benchmark at different -cpu
+// values compares independently.
+func benchKey(b Benchmark) string {
+	return fmt.Sprintf("%s.%s-%d", b.Package, b.Name, b.Procs)
+}
+
+// Regression is one benchmark whose ns/op slowed beyond the threshold.
+type Regression struct {
+	Key      string
+	Old, New float64 // ns/op
+	Delta    float64 // fractional slowdown (0.35 = +35%)
+}
+
+// Compare diffs two baselines on ns/op and writes a per-benchmark
+// report to w: benchmarks present in both documents get a delta line
+// (new-document order), baseline-only and new-only benchmarks are
+// noted but never regressions. It returns the benchmarks that slowed
+// by more than threshold (0.20 = fail at >20% slower).
+func Compare(oldDoc, newDoc *Doc, threshold float64, w io.Writer) []Regression {
+	oldNs := map[string]float64{}
+	for _, b := range oldDoc.Benchmarks {
+		oldNs[benchKey(b)] = b.Metrics["ns/op"]
+	}
+	fmt.Fprintf(w, "benchjson: comparing %d baseline vs %d new benchmarks (threshold +%.0f%% ns/op)\n",
+		len(oldDoc.Benchmarks), len(newDoc.Benchmarks), threshold*100)
+	var regressions []Regression
+	matched := map[string]bool{}
+	for _, b := range newDoc.Benchmarks {
+		key := benchKey(b)
+		newV := b.Metrics["ns/op"]
+		oldV, ok := oldNs[key]
+		if !ok {
+			fmt.Fprintf(w, "  NEW       %-60s %14.1f ns/op (no baseline)\n", key, newV)
+			continue
+		}
+		matched[key] = true
+		delta := 0.0
+		if oldV > 0 {
+			delta = newV/oldV - 1
+		}
+		mark := "ok "
+		if delta > threshold {
+			mark = "REGRESSED"
+			regressions = append(regressions, Regression{Key: key, Old: oldV, New: newV, Delta: delta})
+		}
+		fmt.Fprintf(w, "  %-9s %-60s %14.1f -> %14.1f ns/op  %+7.1f%%\n", mark, key, oldV, newV, delta*100)
+	}
+	var removed []string
+	for _, b := range oldDoc.Benchmarks {
+		if key := benchKey(b); !matched[key] {
+			removed = append(removed, key)
+		}
+	}
+	sort.Strings(removed)
+	for _, key := range removed {
+		fmt.Fprintf(w, "  REMOVED   %-60s (baseline only)\n", key)
+	}
+	if len(regressions) == 0 {
+		fmt.Fprintln(w, "benchjson: no regressions beyond threshold")
+	} else {
+		fmt.Fprintf(w, "benchjson: %d benchmark(s) regressed beyond +%.0f%%\n", len(regressions), threshold*100)
+	}
+	return regressions
+}
+
+// runCompare is the -compare entrypoint: load both files, diff, exit 1
+// on a regression beyond the threshold (2 on unreadable input, the
+// usage contract of cmd/sweep).
+func runCompare(oldPath, newPath string, threshold float64, stdout, stderr io.Writer) int {
+	load := func(path string) (*Doc, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		d, err := ReadJSON(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return d, nil
+	}
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	if len(Compare(oldDoc, newDoc, threshold, stdout)) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bm(pkg, name string, procs int, nsop float64) Benchmark {
+	return Benchmark{Package: pkg, Name: name, Procs: procs, Iterations: 10,
+		Metrics: map[string]float64{"ns/op": nsop}}
+}
+
+func TestCompareClassifiesDeltas(t *testing.T) {
+	oldDoc := &Doc{Benchmarks: []Benchmark{
+		bm("cloversim/internal/sweep", "BenchmarkEngine", 8, 1000),
+		bm("cloversim/internal/sweep", "BenchmarkGone", 8, 50),
+		bm("cloversim/internal/memsim", "BenchmarkRange", 8, 200),
+	}}
+	newDoc := &Doc{Benchmarks: []Benchmark{
+		bm("cloversim/internal/sweep", "BenchmarkEngine", 8, 1190), // +19%: under threshold
+		bm("cloversim/internal/memsim", "BenchmarkRange", 8, 260),  // +30%: regressed
+		bm("cloversim/internal/search", "BenchmarkNew", 8, 10),     // no baseline
+	}}
+	var buf bytes.Buffer
+	regs := Compare(oldDoc, newDoc, 0.20, &buf)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1:\n%s", len(regs), buf.String())
+	}
+	r := regs[0]
+	if r.Key != "cloversim/internal/memsim.BenchmarkRange-8" {
+		t.Errorf("regression key %q", r.Key)
+	}
+	if r.Old != 200 || r.New != 260 {
+		t.Errorf("regression ns/op %v -> %v, want 200 -> 260", r.Old, r.New)
+	}
+	if r.Delta < 0.29 || r.Delta > 0.31 {
+		t.Errorf("regression delta %v, want ~0.30", r.Delta)
+	}
+	report := buf.String()
+	for _, want := range []string{"REGRESSED", "ok ", "NEW", "REMOVED", "BenchmarkGone"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report lacks %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestCompareProcsSeparate: the same benchmark at different -cpu values
+// compares against its own baseline, never cross-procs.
+func TestCompareProcsSeparate(t *testing.T) {
+	oldDoc := &Doc{Benchmarks: []Benchmark{
+		bm("p", "BenchmarkX", 1, 100),
+		bm("p", "BenchmarkX", 8, 1000),
+	}}
+	newDoc := &Doc{Benchmarks: []Benchmark{
+		bm("p", "BenchmarkX", 1, 500), // 5x slower at procs=1
+		bm("p", "BenchmarkX", 8, 1000),
+	}}
+	regs := Compare(oldDoc, newDoc, 0.20, &bytes.Buffer{})
+	if len(regs) != 1 || regs[0].Key != "p.BenchmarkX-1" {
+		t.Fatalf("regressions %+v, want exactly p.BenchmarkX-1", regs)
+	}
+}
+
+// TestCompareImprovementsAndZeroBaseline: speedups and a zero ns/op
+// baseline (malformed but survivable) are never regressions.
+func TestCompareImprovementsAndZeroBaseline(t *testing.T) {
+	oldDoc := &Doc{Benchmarks: []Benchmark{
+		bm("p", "BenchmarkFast", 8, 1000),
+		bm("p", "BenchmarkZero", 8, 0),
+	}}
+	newDoc := &Doc{Benchmarks: []Benchmark{
+		bm("p", "BenchmarkFast", 8, 100),
+		bm("p", "BenchmarkZero", 8, 999),
+	}}
+	if regs := Compare(oldDoc, newDoc, 0.20, &bytes.Buffer{}); len(regs) != 0 {
+		t.Fatalf("regressions %+v, want none", regs)
+	}
+}
+
+// TestRunCompareExitCodes: the CLI contract — 0 clean, 1 regression,
+// 2 unreadable input.
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, d *Doc) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("old.json", &Doc{Benchmarks: []Benchmark{bm("p", "BenchmarkX", 8, 100)}})
+	same := write("same.json", &Doc{Benchmarks: []Benchmark{bm("p", "BenchmarkX", 8, 105)}})
+	slow := write("slow.json", &Doc{Benchmarks: []Benchmark{bm("p", "BenchmarkX", 8, 200)}})
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := runCompare(base, same, 0.20, &stdout, &stderr); code != 0 {
+		t.Errorf("clean compare exit %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	if code := runCompare(base, slow, 0.20, &stdout, &stderr); code != 1 {
+		t.Errorf("regressed compare exit %d, want 1", code)
+	}
+	// A generous threshold tolerates the same slowdown.
+	if code := runCompare(base, slow, 1.50, &stdout, &stderr); code != 0 {
+		t.Errorf("compare with 150%% threshold exit %d, want 0", code)
+	}
+	if code := runCompare(junk, same, 0.20, &stdout, &stderr); code != 2 {
+		t.Errorf("unreadable old baseline exit %d, want 2", code)
+	}
+	if code := runCompare(base, filepath.Join(dir, "missing.json"), 0.20, &stdout, &stderr); code != 2 {
+		t.Errorf("missing new baseline exit %d, want 2", code)
+	}
+}
+
+// TestReadJSONRoundTrip: ReadJSON inverts WriteJSON including custom
+// ReportMetric units.
+func TestReadJSONRoundTrip(t *testing.T) {
+	doc := &Doc{GoOS: "linux", GoArch: "amd64", Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkX", Procs: 8, Iterations: 42,
+			Metrics: map[string]float64{"ns/op": 123.5, "cells/op": 24}},
+	}}
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GoOS != "linux" || len(got.Benchmarks) != 1 {
+		t.Fatalf("round-trip lost fields: %+v", got)
+	}
+	if got.Benchmarks[0].Metrics["cells/op"] != 24 {
+		t.Errorf("custom metric lost: %+v", got.Benchmarks[0].Metrics)
+	}
+}

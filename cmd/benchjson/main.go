@@ -7,18 +7,39 @@
 // Usage:
 //
 //	go test -run - -bench . ./internal/sweep | benchjson > BENCH_sweep.json
+//	benchjson -compare old.json new.json [-threshold 0.20]
 //
 // Multiple `go test` outputs may be concatenated on stdin; the pkg
 // lines partition the benchmarks. Lines that are not benchmark results
 // (PASS, ok, goos/goarch headers) are ignored.
+//
+// -compare diffs two previously written documents on ns/op and exits 1
+// when any benchmark present in both slowed by more than -threshold
+// (default 0.20 = 20%), which is how CI reads the previous run's
+// baseline artifact instead of merely publishing a new one.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 )
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two baseline JSON files (old new) instead of converting bench output")
+	threshold := flag.Float64("threshold", 0.20, "with -compare: fractional ns/op slowdown that fails the comparison (0.20 = +20%)")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare wants exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout, os.Stderr))
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: positional arguments need -compare; bench output is read from stdin")
+		os.Exit(2)
+	}
 	doc, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -37,6 +37,7 @@ func ByName(names []string) ([]*Analyzer, bool) {
 // streamed): the campaign execution path and every wire/disk format it
 // feeds. mapiter and exactbits are scoped here.
 var determinismPkgs = []string{
+	"cloversim/internal/search",
 	"cloversim/internal/sweep",
 	"cloversim/internal/store",
 	"cloversim/internal/sweepd",

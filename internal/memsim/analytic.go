@@ -3,6 +3,7 @@ package memsim
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // This file implements the analytic tier above AccessRange: a closed-form
@@ -145,6 +146,58 @@ func (s AnalyticStats) FallbackRuns() int64 {
 	return t
 }
 
+// String renders the counters for terminal summaries, per-reason
+// fallback counts included.
+func (s AnalyticStats) String() string {
+	out := fmt.Sprintf("%d runs solved analytically (%d lines), %d simulated",
+		s.TakenRuns, s.TakenLines, s.FallbackRuns())
+	if s.FallbackRuns() == 0 {
+		return out
+	}
+	out += " ("
+	for r := FallbackReason(0); r < NumFallbackReasons; r++ {
+		if r > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s %d", r, s.Fallback[r])
+	}
+	return out + ")"
+}
+
+// globalAstats aggregates analytic-tier effectiveness process-wide
+// across every hierarchy, so a whole campaign — where hierarchies are
+// created and discarded per scenario inside concurrent workers — can
+// report how often the O(1) path actually fired. The counters are
+// atomics bumped at the same per-run sites as the per-hierarchy stats:
+// reporting state only, never physics, so they stay out of scenario
+// configs and store keys just like the AnalyticMode knob.
+var globalAstats struct {
+	takenRuns, takenLines atomic.Int64
+	fallback              [NumFallbackReasons]atomic.Int64
+}
+
+// GlobalAnalyticStats snapshots the process-wide analytic counters.
+func GlobalAnalyticStats() AnalyticStats {
+	var s AnalyticStats
+	s.TakenRuns = globalAstats.takenRuns.Load()
+	s.TakenLines = globalAstats.takenLines.Load()
+	for r := range s.Fallback {
+		s.Fallback[r] = globalAstats.fallback[r].Load()
+	}
+	return s
+}
+
+// ResetGlobalAnalyticStats zeroes the process-wide counters (test and
+// campaign-boundary hygiene; concurrent simulations may lose increments
+// racing the reset, which reporting tolerates).
+func ResetGlobalAnalyticStats() {
+	globalAstats.takenRuns.Store(0)
+	globalAstats.takenLines.Store(0)
+	for r := range globalAstats.fallback {
+		globalAstats.fallback[r].Store(0)
+	}
+}
+
 // SetAnalytic selects the analytic mode for this hierarchy.
 func (h *Hierarchy) SetAnalytic(m AnalyticMode) { h.amode = m }
 
@@ -210,6 +263,7 @@ func (h *Hierarchy) tryAnalytic(start, n int64, kind AccessKind) bool {
 // fallback records the reason and reports "not taken".
 func (h *Hierarchy) fallback(r FallbackReason) bool {
 	h.astats.Fallback[r]++
+	globalAstats.fallback[r].Add(1)
 	return false
 }
 
@@ -217,6 +271,8 @@ func (h *Hierarchy) fallback(r FallbackReason) bool {
 func (h *Hierarchy) taken(n int64) bool {
 	h.astats.TakenRuns++
 	h.astats.TakenLines += n
+	globalAstats.takenRuns.Add(1)
+	globalAstats.takenLines.Add(n)
 	return true
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"cloversim/internal/machine"
@@ -410,5 +411,67 @@ func TestAnalyticStatsAccounting(t *testing.T) {
 	h.ResetAnalyticStats()
 	if !reflect.DeepEqual(h.AnalyticStats(), AnalyticStats{}) {
 		t.Fatal("ResetAnalyticStats left residue")
+	}
+}
+
+// TestGlobalAnalyticStatsAggregation: the process-wide counters sum the
+// per-hierarchy ones across hierarchy lifetimes — the campaign-level
+// report -analytic-stats prints survives workers creating and dropping
+// a hierarchy per scenario.
+func TestGlobalAnalyticStatsAggregation(t *testing.T) {
+	before := GlobalAnalyticStats()
+	var want AnalyticStats
+	for _, seed := range []uint64{0xA11, 0x5EED} {
+		h := New(tinySpec(2, 2, 4, 2, 4, 4))
+		h.SetPrefetch(false)
+		h.SetAnalytic(AnalyticForce)
+		for _, p := range analyticTrace(seed, 30, 2, 28) {
+			h.AccessRange(p.start, p.n, p.kind)
+		}
+		as := h.AnalyticStats()
+		want.TakenRuns += as.TakenRuns
+		want.TakenLines += as.TakenLines
+		for r := range as.Fallback {
+			want.Fallback[r] += as.Fallback[r]
+		}
+	}
+	if want.TakenRuns == 0 {
+		t.Fatal("trace produced no analytic-taken runs; the aggregation assertion is vacuous")
+	}
+	after := GlobalAnalyticStats()
+	got := AnalyticStats{
+		TakenRuns:  after.TakenRuns - before.TakenRuns,
+		TakenLines: after.TakenLines - before.TakenLines,
+	}
+	for r := range got.Fallback {
+		got.Fallback[r] = after.Fallback[r] - before.Fallback[r]
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("global delta %+v, want the per-hierarchy sum %+v", got, want)
+	}
+	ResetGlobalAnalyticStats()
+	if !reflect.DeepEqual(GlobalAnalyticStats(), AnalyticStats{}) {
+		t.Fatal("ResetGlobalAnalyticStats left residue")
+	}
+}
+
+// TestAnalyticStatsString: the one-line report format -analytic-stats
+// prints, with and without fallbacks.
+func TestAnalyticStatsString(t *testing.T) {
+	clean := AnalyticStats{TakenRuns: 5, TakenLines: 640}
+	if got, want := clean.String(), "5 runs solved analytically (640 lines), 0 simulated"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	var s AnalyticStats
+	s.TakenRuns, s.TakenLines = 2, 128
+	s.Fallback[FallbackShort] = 3
+	got := s.String()
+	if !reflect.DeepEqual(s.FallbackRuns(), int64(3)) {
+		t.Fatalf("FallbackRuns() = %d, want 3", s.FallbackRuns())
+	}
+	for _, want := range []string{"2 runs solved analytically (128 lines), 3 simulated", "short 3", "prefetch 0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q lacks %q", got, want)
+		}
 	}
 }

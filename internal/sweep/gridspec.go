@@ -72,6 +72,21 @@ func (g GridSpec) Resolve(validateAxes func(machines, workloads []string) error)
 	return grid, nil
 }
 
+// ExplicitSpec builds the explicit-scenario form of a spec from
+// resolved scenarios — the inverse of Explicit. Callers that compute a
+// cell set instead of declaring a grid (the adaptive search driver's
+// refinement waves, dispatch handing cells to a worker) round-trip
+// through it: every Scenario.Key, including refined numeric axis
+// values no preset list contains, parses back to an identical
+// scenario.
+func ExplicitSpec(scenarios []Scenario) GridSpec {
+	keys := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		keys[i] = s.Key()
+	}
+	return GridSpec{Scenarios: keys}
+}
+
 // Explicit parses the explicit form back into scenarios, rejecting
 // malformed keys and any axis field set alongside (a spec that mixes
 // the two forms is ambiguous, so it is an error, not a merge).

@@ -96,3 +96,80 @@ func TestGridSpecExplicit(t *testing.T) {
 		t.Error("axis-form spec produced explicit scenarios")
 	}
 }
+
+// TestGridSpecExplicitDuplicateKeys: duplicates are the store's and the
+// engine's documented convergence case, not damage — the explicit form
+// preserves them verbatim (position i in, position i out) and leaves
+// dedup to the memoizer.
+func TestGridSpecExplicitDuplicateKeys(t *testing.T) {
+	s := Scenario{Machine: "icx", Workload: "stream", Ranks: 4}
+	spec := GridSpec{Scenarios: []string{s.Key(), s.Key(), s.Key()}}
+	got, err := spec.Explicit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("explicit form collapsed %d duplicate keys to %d scenarios", 3, len(got))
+	}
+	for i, g := range got {
+		if g != s {
+			t.Errorf("scenario %d = %+v, want %+v", i, g, s)
+		}
+	}
+}
+
+// TestGridSpecMixingRejectedPerAxis: every single axis field set
+// alongside explicit scenarios makes the spec ambiguous — each one
+// must reject on its own, including the scalar MaxRows and Seed fields.
+func TestGridSpecMixingRejectedPerAxis(t *testing.T) {
+	key := Scenario{Machine: "icx"}.Key()
+	muts := map[string]func(*GridSpec){
+		"machines":  func(g *GridSpec) { g.Machines = []string{"icx"} },
+		"workloads": func(g *GridSpec) { g.Workloads = []string{"stream"} },
+		"modes":     func(g *GridSpec) { g.Modes = []string{"baseline"} },
+		"ranks":     func(g *GridSpec) { g.Ranks = []int{4} },
+		"meshes":    func(g *GridSpec) { g.Meshes = []string{"128x64"} },
+		"threads":   func(g *GridSpec) { g.Threads = []int{8} },
+		"maxrows":   func(g *GridSpec) { g.MaxRows = 8 },
+		"seed":      func(g *GridSpec) { g.Seed = 1 },
+	}
+	for name, mut := range muts {
+		spec := GridSpec{Scenarios: []string{key}}
+		mut(&spec)
+		if _, err := spec.Explicit(); err == nil || !strings.Contains(err.Error(), "cannot be combined") {
+			t.Errorf("%s alongside explicit scenarios: err %v, want a combination rejection", name, err)
+		}
+	}
+}
+
+// TestExplicitSpecRoundTripsRefinedValues: ExplicitSpec is the inverse
+// of Explicit for arbitrary numeric axis values — the adaptive driver's
+// refined midpoints (ranks no preset lists, meshes no flag would ever
+// name) must survive the key round-trip bit-exactly, because that is
+// how refinement waves reach fleet workers.
+func TestExplicitSpecRoundTripsRefinedValues(t *testing.T) {
+	want := []Scenario{
+		{Machine: "icx", Workload: "jacobi", Ranks: 37, MaxRows: 8, Seed: 24301},
+		{Machine: "spr8480", Workload: "jacobi", Mesh: Mesh{X: 1234, Y: 777}, MaxRows: -1},
+		{Machine: "icx", Workload: "stream", Mode: Mode{Name: "nt", NTStores: true}, Threads: 111},
+	}
+	spec := ExplicitSpec(want)
+	if !spec.IsExplicit() || spec.axesSet() {
+		t.Fatalf("ExplicitSpec produced a non-explicit or mixed spec: %+v", spec)
+	}
+	got, err := spec.Explicit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-trip returned %d scenarios, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("scenario %d round-tripped to %+v, want %+v", i, got[i], want[i])
+		}
+		if got[i].Key() != want[i].Key() {
+			t.Errorf("scenario %d key drifted: %q vs %q", i, got[i].Key(), want[i].Key())
+		}
+	}
+}

@@ -95,7 +95,12 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 		progress  = fs.Bool("progress", false, "live completion counter on stderr, updated as each scenario finishes (combines with -q for quiet-but-visible campaigns)")
 		stream    = fs.Bool("stream", false, "write campaign.csv and campaign.json incrementally as results complete, holding only out-of-order completions in memory; final bytes are identical to the buffered default")
 		analytic  = fs.String("analytic", "auto", "memsim analytic fast path: auto, off or force — all three simulate identical physics (golden-verified), so this never affects results or store keys")
+		astats    = fs.Bool("analytic-stats", false, "report memsim analytic-tier effectiveness (runs solved in O(1) vs per-reason simulation fallbacks) on stderr after the campaign")
 		compact   = fs.Bool("store-compact", false, "compact the -store directory (merge all segments into one, dropping stale and corrupt lines) and exit without running a campaign; requires exclusive ownership of the store")
+		adaptive  = fs.String("adaptive", "", "adaptive frontier search along this numeric axis (ranks, threads or mesh) instead of the exhaustive cross product; needs -target and at least two axis values as the bracketing seeds")
+		target    = fs.String("target", "", "frontier predicate for -adaptive: delta:<metric>:<modeA>/<modeB>, lt:<metric>:<value>, gt:<metric>:<value>, or model:<metric>:<analytic-metric>:<reltol>")
+		tol       = fs.Int("tol", 1, "adaptive: stop refining an interval once its axis gap is at most this (mesh: larger componentwise distance)")
+		maxRounds = fs.Int("max-rounds", 16, "adaptive: refinement wave bound")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -111,6 +116,11 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 	// config: the knob selects an implementation path, never physics,
 	// and must not perturb scenario hashes.
 	memsim.DefaultAnalytic = amode
+	if *astats {
+		// The counters are process-global; zero them so the report
+		// covers exactly this invocation.
+		memsim.ResetGlobalAnalyticStats()
+	}
 
 	if *compact {
 		// Maintenance mode: compact and exit. No campaign runs, so none
@@ -207,6 +217,32 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 		}
 		eng.Cache = st
 	}
+	if *adaptive != "" || *target != "" {
+		// Adaptive frontier search: the grid is a search space, not an
+		// enumeration. Everything set up above — engine, memoizer,
+		// store write-through, local or fleet backend — applies
+		// unchanged; only which cells run is decided wave by wave.
+		if *adaptive == "" {
+			return usage(stderr, errors.New("-target requires -adaptive"))
+		}
+		if *target == "" {
+			return usage(stderr, errors.New("-adaptive requires -target"))
+		}
+		if *stream {
+			return usage(stderr, errors.New("-stream applies to exhaustive campaigns; -adaptive has its own frontier emitters"))
+		}
+		code := runAdaptive(ctx, adaptiveRun{
+			grid: grid, axis: *adaptive, target: *target,
+			tol: *tol, maxRounds: *maxRounds,
+			modesSet: *modes != "all",
+			eng:      eng, store: st, runner: runner,
+			out: *out, quiet: *quiet, liveProgress: *progress,
+			workersDesc: workersDesc,
+			stdout:      stdout, stderr: stderr,
+		})
+		reportAnalyticStats(stderr, *astats)
+		return code
+	}
 	if !*quiet {
 		fmt.Fprintf(stdout, "sweep: %d scenarios (%d machines x %d workloads x %d modes), %s\n",
 			grid.Size(), len(grid.Machines), len(grid.Workloads), len(grid.Modes), workersDesc)
@@ -301,6 +337,7 @@ func MainWithRunnerContext(ctx context.Context, argv []string, stdout, stderr io
 	if *progress {
 		fmt.Fprintln(stderr) // terminate the carriage-returned line
 	}
+	reportAnalyticStats(stderr, *astats)
 
 	if streamClose != nil {
 		if err := streamClose(); err != nil {

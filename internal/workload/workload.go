@@ -194,3 +194,16 @@ func Run(s sweep.Scenario) (sweep.Metrics, error) {
 	}
 	return w.Run(cfg)
 }
+
+// Analytic resolves a scenario and evaluates its workload's analytic
+// model without simulating — the cheap surrogate the adaptive search
+// driver (internal/search) uses to prune refinement intervals. It
+// answers ok=false when the scenario does not resolve or the workload
+// has no analytic model; like Run, it is deterministic in the scenario.
+func Analytic(s sweep.Scenario) (sweep.Metrics, bool) {
+	w, cfg, err := Resolve(s)
+	if err != nil {
+		return nil, false
+	}
+	return w.Analytic(cfg)
+}
